@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+The measurement trace is generated once per session; each figure bench
+replays it against its cache models.  Scale with REPRO_BENCH_SCALE=N.
+"""
+
+import os
+
+import pytest
+
+from repro.trace.workloads import paper_trace
+
+
+@pytest.fixture(scope="session")
+def events():
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return paper_trace(scale)

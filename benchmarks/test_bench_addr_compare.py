@@ -1,0 +1,10 @@
+"""TAB-ADDR bench: floating vs fixed-field addressing (section 2.2)."""
+
+from repro.experiments import addr_compare
+
+
+def test_addr_compare_table(benchmark):
+    result = benchmark(addr_compare.run)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

@@ -1,0 +1,11 @@
+"""TAB-CALL bench: the call/return cycle-cost table (section 3.6)."""
+
+from repro.experiments import call_cost
+
+
+def test_call_cost_table(benchmark):
+    result = benchmark.pedantic(lambda: call_cost.run(calls=100),
+                                rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

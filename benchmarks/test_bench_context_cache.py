@@ -1,0 +1,10 @@
+"""TAB-CCACHE bench: context cache vs nesting depth (section 2.3)."""
+
+from repro.experiments import context_cache
+
+
+def test_context_cache_table(benchmark):
+    result = benchmark.pedantic(context_cache.run, rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

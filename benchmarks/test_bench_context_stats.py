@@ -1,0 +1,10 @@
+"""TAB-CTX bench: context allocation/reference statistics (section 2.3)."""
+
+from repro.experiments import context_stats
+
+
+def test_context_stats_table(benchmark):
+    result = benchmark.pedantic(context_stats.run, rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

@@ -1,0 +1,23 @@
+"""FIG-10 bench: regenerate the ITLB hit-ratio curve (paper figure 10).
+
+The benchmark times one replay of the measurement trace against the
+paper's headline configuration (512-entry, 2-way); the full sweep is
+regenerated once and its claims asserted, and the series is printed so
+the bench output contains the figure's data.
+"""
+
+from repro.experiments import fig10
+from repro.trace.cachesim import simulate_itlb
+
+
+def test_fig10_itlb_replay(benchmark, events):
+    stats = benchmark(simulate_itlb, events, 512, 2, double_pass=True)
+    assert stats.hit_ratio >= 0.99
+
+
+def test_fig10_full_sweep(benchmark, events):
+    result = benchmark.pedantic(
+        lambda: fig10.run(events=events, plot=False), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

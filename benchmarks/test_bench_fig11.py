@@ -1,0 +1,17 @@
+"""FIG-11 bench: regenerate the instruction-cache curve (figure 11)."""
+
+from repro.experiments import fig11
+from repro.trace.cachesim import simulate_icache
+
+
+def test_fig11_icache_replay(benchmark, events):
+    stats = benchmark(simulate_icache, events, 4096, 2, double_pass=True)
+    assert stats.hit_ratio >= 0.99
+
+
+def test_fig11_full_sweep(benchmark, events):
+    result = benchmark.pedantic(
+        lambda: fig11.run(events=events, plot=False), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

@@ -1,0 +1,10 @@
+"""TAB-3ADDR bench: stack vs three-address instruction counts (section 5)."""
+
+from repro.experiments import stack_vs_3addr
+
+
+def test_stack_vs_3addr_table(benchmark):
+    result = benchmark.pedantic(stack_vs_3addr.run, rounds=1, iterations=1)
+    print()
+    print(result.report())
+    assert result.all_hold, result.report()

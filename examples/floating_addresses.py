@@ -1,0 +1,79 @@
+"""Floating point addresses and the small object problem (section 2.2).
+
+Walks through the paper's worked example (0x8345), the MULTICS
+comparison, allocating a mixed small/large object population, and the
+alias-forwarding protocol when an object outgrows its pointer.
+
+Run:  python examples/floating_addresses.py
+"""
+
+from repro.memory.fpa import (
+    FORMAT_16,
+    address_format,
+    floating_capacity,
+    multics_style_capacity,
+)
+from repro.memory.mmu import MMU
+from repro.memory.tags import Word
+
+
+def worked_example() -> None:
+    print("-- the paper's worked example --")
+    address = FORMAT_16.from_packed(0x8345)
+    print(f"16-bit address 0x8345: exponent={address.exponent}, "
+          f"offset={address.offset:#x}, "
+          f"segment name={address.packed_segment_name:#x}")
+
+
+def capacity_comparison() -> None:
+    print("\n-- 36-bit capacity: fixed fields vs floating --")
+    multics_segments, multics_words = multics_style_capacity(36)
+    floating_names, floating_words = floating_capacity(36)
+    print(f"MULTICS-style: {multics_segments:>13,} segments of "
+          f"<= {multics_words:,} words")
+    print(f"floating:      {floating_names:>13,} segments of "
+          f"<= {floating_words:,} words")
+
+
+def small_object_population() -> None:
+    print("\n-- one name space, tiny and huge objects --")
+    mmu = MMU(address_format(36), arena_words=1 << 22)
+    cons_cells = [mmu.allocate_object(0, 2, class_tag=20)
+                  for _ in range(5)]
+    image = mmu.allocate_object(0, 1 << 20, class_tag=21)
+    for index, cell in enumerate(cons_cells):
+        print(f"cons cell {index}: exponent {cell.exponent}, "
+              f"segment {cell.segment_name}")
+    print(f"1M-word image: exponent {image.exponent}, "
+          f"segment {image.segment_name}")
+    mmu.write(0, image.step(999_999), Word.small_integer(7))
+    print(f"image[999999] = {mmu.read(0, image.step(999_999)).value}")
+
+
+def alias_forwarding() -> None:
+    print("\n-- growing an object out of its exponent (aliasing) --")
+    mmu = MMU(address_format(36), arena_words=1 << 22)
+    vector = mmu.allocate_object(0, 4, class_tag=22)
+    mmu.write(0, vector.step(2), Word.small_integer(42))
+    print(f"allocated 4-word vector: exponent {vector.exponent}")
+    grown = mmu.grow_object(0, vector, 1000)
+    print(f"grown to 1000 words: new exponent {grown.exponent} "
+          f"(new segment name {grown.segment_name})")
+    print(f"old pointer still reads word 2: "
+          f"{mmu.read(0, vector.step(2)).value}")
+    print(f"old descriptor forwards to: "
+          f"{mmu.forward_of(0, vector).segment_name}")
+    mmu.write(0, grown.step(900), Word.small_integer(99))
+    print(f"new pointer reaches word 900: "
+          f"{mmu.read(0, grown.step(900)).value}")
+
+
+def main() -> None:
+    worked_example()
+    capacity_comparison()
+    small_object_population()
+    alias_forwarding()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Hit/miss accounting shared by every cache model in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance.
+
+    ``hits``/``misses`` count lookups; ``fills`` counts insertions;
+    ``evictions`` counts entries displaced by a fill; ``invalidations``
+    counts entries removed explicitly (flush or coherence).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit; 0.0 when no lookups occurred."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of lookups that missed; 0.0 when no lookups occurred."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Zero every counter (used after a warm-up trace, section 5)."""
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            fills=self.fills,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.fills += other.fills
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"hit_ratio={self.hit_ratio:.4f}"
+        )
+
+
+@dataclass
+class AccessProfile:
+    """Aggregated access counts by category (used by memory-reference studies).
+
+    The paper cites that over 91% of memory references go to contexts;
+    this profile lets the machine bucket every reference it makes.
+    """
+
+    context_reads: int = 0
+    context_writes: int = 0
+    heap_reads: int = 0
+    heap_writes: int = 0
+    instruction_fetches: int = 0
+    categories: dict = field(default_factory=dict)
+
+    @property
+    def context_references(self) -> int:
+        return self.context_reads + self.context_writes
+
+    @property
+    def data_references(self) -> int:
+        return (
+            self.context_reads
+            + self.context_writes
+            + self.heap_reads
+            + self.heap_writes
+        )
+
+    @property
+    def context_fraction(self) -> float:
+        """Fraction of data references that touch contexts."""
+        total = self.data_references
+        if total == 0:
+            return 0.0
+        return self.context_references / total
+
+    def count(self, category: str, n: int = 1) -> None:
+        """Bump an arbitrary named counter."""
+        self.categories[category] = self.categories.get(category, 0) + n

@@ -1,0 +1,843 @@
+"""The Caltech Object Machine: a functional, cycle-accounted simulator.
+
+This module wires every architectural piece together (paper section 3):
+
+* tagged memory and three-level addressing (:mod:`repro.memory`);
+* the ITLB resolving abstract instructions to methods (section 2.1);
+* the context cache, free-list context pool and the call/return
+  sequences of section 3.6;
+* the five-step pipeline's cycle accounting (figure 6);
+* an instruction cache on the fetch path;
+* trace recording compatible with the section-5 experiments (one event
+  per instruction: address, opcode, receiver class).
+
+The machine executes real encoded 32-bit instructions out of method
+objects stored in tagged memory.  Method dispatch is *always* abstract:
+every instruction forms an ITLB key from its opcode and the classes of
+its fetched operands, and either fires a function unit (primitive
+methods) or performs the method-call sequence (defined methods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.caches.icache import InstructionCache
+from repro.caches.itlb import ITLB, ITLBEntry
+from repro.caches.stats import AccessProfile
+from repro.errors import (
+    AliasTrap,
+    DoesNotUnderstandTrap,
+    EncodingError,
+    MachineHalted,
+    ProtectionTrap,
+    ReproError,
+    SimulationLimitExceeded,
+    TagMismatch,
+)
+from repro.memory.fpa import FPAddress, address_format
+from repro.memory.mmu import MMU
+from repro.memory.physical import MemoryHierarchy
+from repro.memory.tags import Tag, Word
+from repro.objects.gc import ContextRecycler, MarkSweepCollector
+from repro.objects.heap import ObjectHeap
+from repro.objects.model import (
+    ClassRegistry,
+    DefinedMethod,
+    LookupResult,
+    ObjectClass,
+    PrimitiveMethod,
+)
+from repro.core.constants import ConstantTable, is_true
+from repro.core.context import (
+    ARG0_SLOT,
+    ARG1_SLOT,
+    CONTEXT_WORDS,
+    ContextPool,
+    FrameSizeHistogram,
+    RCP_SLOT,
+    RIP_SLOT,
+    operand_slot,
+)
+from repro.core.context_cache import ContextCache
+from repro.core.encoding import Instruction
+from repro.core.isa import Op, OpcodeTable
+from repro.core.operands import Mode, Operand, Space
+from repro.core.pipeline import CycleAccountant, CycleParams
+from repro.core.primitives import ArithmeticTrap, execute_unit
+from repro.core.registers import RegisterFile
+
+#: Ops whose sources are operands B and C, destination A.
+_BINARY_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+    Op.CARRY, Op.MULT1, Op.MULT2,
+    Op.SHIFT, Op.ASHIFT, Op.ROTATE, Op.MASK,
+    Op.AND, Op.OR, Op.XOR,
+    Op.LT, Op.LE, Op.EQ, Op.SAME,
+})
+#: Ops whose single source is operand B, destination A.
+_UNARY_OPS = frozenset({Op.NEG, Op.NOT, Op.TAG, Op.MOVE})
+
+
+from repro.trace.events import TraceEvent
+
+
+@dataclass
+class CompiledMethod:
+    """A method's code object plus its metadata."""
+
+    selector: str
+    code_address: FPAddress
+    instruction_count: int
+    argument_count: int = 0
+    frame_words: int = CONTEXT_WORDS
+
+    @property
+    def entry(self) -> FPAddress:
+        return self.code_address.base()
+
+
+class COMMachine:
+    """A complete COM system: processor, caches, memory and runtime."""
+
+    def __init__(
+        self,
+        *,
+        address_bits: int = 36,
+        itlb_size: int = 512,
+        itlb_associativity=2,
+        icache_size: int = 4096,
+        icache_associativity=2,
+        context_blocks: int = 32,
+        cycle_params: Optional[CycleParams] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        context_pool_limit: Optional[int] = None,
+    ) -> None:
+        self.mmu = MMU(address_format(address_bits), hierarchy=hierarchy)
+        self.registry = ClassRegistry()
+        self.opcodes = OpcodeTable()
+        self.constants = ConstantTable()
+        self.heap = ObjectHeap(self.mmu, team=0)
+        self.regs = RegisterFile()
+        self.cycles = CycleAccountant(cycle_params or CycleParams())
+        self.profile = AccessProfile()
+        self.recycler = ContextRecycler()
+        self.itlb = ITLB(itlb_size, itlb_associativity)
+        self.icache = InstructionCache(icache_size, icache_associativity)
+        self.frame_sizes = FrameSizeHistogram()
+        self._bootstrap_classes()
+        self.pool = ContextPool(self.heap, self.context_class,
+                                limit=context_pool_limit)
+        self.context_cache = ContextCache(
+            self._context_writeback, self._context_load,
+            num_blocks=context_blocks,
+        )
+        self.collector = MarkSweepCollector(self.heap)
+        self.ip: Optional[FPAddress] = None
+        self.halted = False
+        self.trace: Optional[List[TraceEvent]] = None
+        self._result_cell: Optional[FPAddress] = None
+        self._methods: Dict[Tuple[int, str], CompiledMethod] = {}
+        self._prev_dest: Optional[Tuple[str, int]] = None
+        self.activation_count = 0
+        #: Call depth of the running program (top-level frame = 1).
+        self.depth = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap_classes(self) -> None:
+        """Create the base class hierarchy and install primitive methods."""
+        registry = self.registry
+        self.object_class = registry.define_class("Object")
+        # Primitive tag classes inherit the universal behaviour.
+        for name in ("Uninitialized", "SmallInteger", "Float", "Atom",
+                     "Instruction", "ObjectPointer"):
+            registry.by_name(name).superclass = self.object_class
+        self.context_class = registry.define_class(
+            "Context", self.object_class, CONTEXT_WORDS)
+        self.method_class = registry.define_class(
+            "CompiledMethodObject", self.object_class)
+        self.array_class = registry.define_class("Array", self.object_class)
+
+        sel = lambda op: self.opcodes.selector_of(int(op))
+        obj = self.object_class
+        obj.define_primitive(sel(Op.MOVE), "move")
+        obj.define_primitive(sel(Op.SAME), "cmp.same")
+        obj.define_primitive(sel(Op.TAG), "tag")
+        obj.define_primitive(sel(Op.AS), "machine.as")
+        obj.define_primitive(sel(Op.MOVEA), "machine.movea")
+        obj.define_primitive(sel(Op.AT), "machine.at")
+        obj.define_primitive(sel(Op.ATPUT), "machine.atput")
+        obj.define_primitive(sel(Op.XFER), "machine.xfer")
+
+        integer = registry.by_name("SmallInteger")
+        for op, unit in (
+            (Op.ADD, "arith.add"), (Op.SUB, "arith.sub"),
+            (Op.MUL, "arith.mul"), (Op.DIV, "arith.div"),
+            (Op.MOD, "arith.mod"), (Op.NEG, "arith.neg"),
+            (Op.CARRY, "mp.carry"), (Op.MULT1, "mp.mult1"),
+            (Op.MULT2, "mp.mult2"),
+            (Op.SHIFT, "bits.shift"), (Op.ASHIFT, "bits.ashift"),
+            (Op.ROTATE, "bits.rotate"), (Op.MASK, "bits.mask"),
+            (Op.AND, "bits.and"), (Op.OR, "bits.or"),
+            (Op.NOT, "bits.not"), (Op.XOR, "bits.xor"),
+            (Op.LT, "cmp.lt"), (Op.LE, "cmp.le"), (Op.EQ, "cmp.eq"),
+            (Op.FJMP, "machine.fjmp"), (Op.RJMP, "machine.rjmp"),
+        ):
+            integer.define_primitive(sel(op), unit)
+
+        floating = registry.by_name("Float")
+        for op, unit in (
+            (Op.ADD, "arith.add"), (Op.SUB, "arith.sub"),
+            (Op.MUL, "arith.mul"), (Op.DIV, "arith.div"),
+            (Op.NEG, "arith.neg"),
+            (Op.LT, "cmp.lt"), (Op.LE, "cmp.le"), (Op.EQ, "cmp.eq"),
+        ):
+            floating.define_primitive(sel(op), unit)
+
+        atom = registry.by_name("Atom")
+        atom.define_primitive(sel(Op.EQ), "cmp.eq")
+        # Classes are denoted by atoms at runtime; allocation is an
+        # operating-system primitive the architecture leaves to
+        # software (section 3: "the COM achieves flexibility by
+        # providing only primitives").
+        atom.define_primitive("new", "machine.new")
+        atom.define_primitive("new:", "machine.newsize")
+        # Jumps test boolean atoms as well as integers (section 3.3
+        # defines them for integers; our compiler branches on the atoms
+        # true/false that the comparison units produce).
+        atom.define_primitive(sel(Op.FJMP), "machine.fjmp")
+        atom.define_primitive(sel(Op.RJMP), "machine.rjmp")
+
+    # ------------------------------------------------------------------
+    # context plumbing
+    # ------------------------------------------------------------------
+
+    def _context_writeback(self, base: int, words: List[Word]) -> None:
+        self.mmu.absolute.write_block(base, words)
+
+    def _context_load(self, base: int) -> List[Word]:
+        return self.mmu.absolute.read_block(base, CONTEXT_WORDS)
+
+    def _translate(self, address: FPAddress, write: bool = False) -> int:
+        """Virtual->absolute with one alias-forward retry (trap handler)."""
+        try:
+            return self.mmu.translate(self.heap.team, address, write=write).absolute
+        except AliasTrap as trap:
+            forwarded = trap.new_address.with_offset(0).step(address.offset)
+            return self.mmu.translate(self.heap.team, forwarded,
+                                      write=write).absolute
+
+    def _allocate_next_context(self) -> None:
+        address = self.pool.allocate()
+        base = self._translate(address, write=True)
+        self.context_cache.allocate_next(base)
+        self.regs.ncp.set(address, base)
+        if self.regs.cp.is_set:
+            self.context_cache.write_next(
+                RCP_SLOT,
+                Word.pointer(self.regs.cp.virtual.packed,
+                             self.context_class.class_tag),
+            )
+
+    def _release_context(self, address: FPAddress, base: int) -> None:
+        self.context_cache.release(base)
+        self.pool.free(address)
+
+    # ------------------------------------------------------------------
+    # program installation
+    # ------------------------------------------------------------------
+
+    def intern_selector(self, selector: str) -> int:
+        """Opcode number for a selector (assigning one when new)."""
+        return self.opcodes.intern(selector)
+
+    def install_method(
+        self,
+        cls: ObjectClass,
+        selector: str,
+        instructions: Sequence[Instruction],
+        argument_count: int = 0,
+        frame_words: int = CONTEXT_WORDS,
+    ) -> CompiledMethod:
+        """Store a method's code in tagged memory and bind it to a class.
+
+        Re-installation (redefinition) shoots down the stale ITLB
+        entries for the selector -- the smooth-extensibility story of
+        section 2.1: no caller's object code changes.
+        """
+        opcode = self.opcodes.intern(selector)
+        if not instructions:
+            raise EncodingError(f"method {selector!r} has no instructions")
+        code = self.heap.allocate(self.method_class, len(instructions),
+                                  kind="method")
+        for index, inst in enumerate(instructions):
+            self.heap.store(code, index, Word.instruction(inst.encode()))
+        compiled = CompiledMethod(
+            selector, code, len(instructions), argument_count, frame_words)
+        cls.define_method(selector, compiled, argument_count)
+        self.itlb.invalidate_selector(opcode)
+        self._methods[(cls.class_tag, selector)] = compiled
+        self.frame_sizes.record(frame_words)
+        if frame_words > CONTEXT_WORDS:
+            self.pool.note_overflow()
+        return compiled
+
+    def method_for(self, cls: ObjectClass, selector: str) -> CompiledMethod:
+        return self._methods[(cls.class_tag, selector)]
+
+    # ------------------------------------------------------------------
+    # trace support
+    # ------------------------------------------------------------------
+
+    def enable_trace(self) -> List[TraceEvent]:
+        """Start recording (address, opcode, receiver class) events."""
+        self.trace = []
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # operand access
+    # ------------------------------------------------------------------
+
+    def _read_operand(self, operand: Operand) -> Word:
+        if operand.mode is Mode.CONSTANT:
+            return self.constants.get(operand.offset)
+        slot = operand_slot(operand.offset)
+        if operand.space is Space.CURRENT:
+            self.profile.context_reads += 1
+            return self.context_cache.read_current(slot)
+        self.profile.context_reads += 1
+        return self.context_cache.read_next(slot)
+
+    def _write_operand(self, operand: Operand, word: Word) -> None:
+        if operand.mode is Mode.CONSTANT:
+            raise EncodingError("constant operands are not writable")
+        slot = operand_slot(operand.offset)
+        if operand.space is Space.CURRENT:
+            if operand.offset == 0:
+                # Writes to arg0 indirect through the result pointer:
+                # "the method indirects through the result pointer"
+                # (section 4).  A non-pointer arg0 stores in place
+                # (top-level frames hold their result locally).
+                target = self.context_cache.read_current(ARG0_SLOT)
+                if target.is_pointer:
+                    self._store_through_pointer(target, word)
+                    return
+            self.profile.context_writes += 1
+            self.context_cache.write_current(slot, word)
+        else:
+            self.profile.context_writes += 1
+            self.context_cache.write_next(slot, word)
+
+    def _effective_address(self, operand: Operand) -> FPAddress:
+        """The virtual address of a context-mode operand's slot (movea)."""
+        if operand.mode is Mode.CONSTANT:
+            raise EncodingError("constants have no effective address")
+        pointer = (self.regs.cp if operand.space is Space.CURRENT
+                   else self.regs.ncp)
+        if not pointer.is_set:
+            raise ReproError("effective address taken with no context")
+        return pointer.virtual.base().step(operand_slot(operand.offset))
+
+    # -- memory routing (context cache first, then the hierarchy) ----------
+
+    def _context_base_of(self, absolute: int) -> int:
+        return absolute - (absolute % CONTEXT_WORDS)
+
+    def _note_capture_if_context(self, word: Word) -> None:
+        """Storing a context pointer into memory makes it non-LIFO."""
+        if word.is_pointer and word.class_tag == self.context_class.class_tag:
+            base = self.mmu.fmt.from_packed(word.value).base().packed
+            self.recycler.note_capture(base)
+
+    def _store_through_pointer(self, pointer: Word, word: Word) -> None:
+        address = self.mmu.fmt.from_packed(pointer.value)
+        absolute = self._translate(address, write=True)
+        base = self._context_base_of(absolute)
+        if self.context_cache.write_absolute(base, absolute - base, word):
+            self.profile.context_writes += 1
+            return
+        self.profile.heap_writes += 1
+        if self.mmu.hierarchy is not None:
+            self.mmu.hierarchy.access(absolute, write=True)
+        self.mmu.absolute.write(absolute, word)
+
+    def _load_memory_word(self, address: FPAddress) -> Word:
+        absolute = self._translate(address, write=False)
+        base = self._context_base_of(absolute)
+        cached = self.context_cache.read_absolute(base, absolute - base)
+        if cached is not None:
+            self.profile.context_reads += 1
+            return cached
+        self.profile.heap_reads += 1
+        if self.mmu.hierarchy is not None:
+            self.mmu.hierarchy.access(absolute, write=False)
+        return self.mmu.absolute.read(absolute)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_sources(
+        self, inst: Instruction
+    ) -> Tuple[List[Word], List[Operand]]:
+        """Fetch the operand words that form the ITLB key, receiver first."""
+        arch = self.opcodes.architectural_op(inst.opcode)
+        if inst.is_zero_operand:
+            words = []
+            if inst.nargs >= 1:
+                self.profile.context_reads += 1
+                words.append(self.context_cache.read_next(ARG1_SLOT))
+            if inst.nargs >= 2:
+                self.profile.context_reads += 1
+                words.append(self.context_cache.read_next(ARG1_SLOT + 1))
+            return words, []
+        a, b, c = inst.operands
+        if arch in _BINARY_OPS or arch is None:
+            # User three-operand sends dispatch like binary messages.
+            return [self._read_operand(b), self._read_operand(c)], [b, c]
+        if arch in _UNARY_OPS:
+            return [self._read_operand(b)], [b]
+        if arch is Op.MOVEA:
+            return [self._read_operand(b)], [b]
+        if arch is Op.AT:
+            return [self._read_operand(b), self._read_operand(c)], [b, c]
+        if arch is Op.ATPUT:
+            return [
+                self._read_operand(b), self._read_operand(c),
+                self._read_operand(a),
+            ], [b, c, a]
+        if arch is Op.AS:
+            return [self._read_operand(b), self._read_operand(c)], [b, c]
+        if arch in (Op.FJMP, Op.RJMP):
+            return [self._read_operand(a)], [a]
+        if arch is Op.XFER:
+            return [self._read_operand(a)], [a]
+        return [], []   # HALT
+
+    def _itlb_translate(self, inst: Instruction, sources: List[Word]):
+        class_tags = tuple(word.class_tag for word in sources)
+        selector = self.opcodes.selector_of(inst.opcode)
+
+        def miss() -> LookupResult:
+            receiver_tag = class_tags[0] if class_tags else \
+                self.object_class.class_tag
+            return self.registry.lookup_by_tag(selector, receiver_tag)
+
+        outcome = self.itlb.translate(inst.opcode, class_tags, miss)
+        if not outcome.hit:
+            self.cycles.itlb_miss(outcome.lookup.probes)
+        if self.trace is not None:
+            receiver = class_tags[0] if class_tags else -1
+            address = getattr(self, "_fetch_absolute", self.ip.packed)
+            self.trace.append(TraceEvent(address, inst.opcode, receiver))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # call / return / xfer
+    # ------------------------------------------------------------------
+
+    def _method_call(
+        self,
+        inst: Instruction,
+        method: DefinedMethod,
+        source_words: List[Word],
+    ) -> None:
+        compiled: CompiledMethod = method.code
+        copies = 0
+        if not inst.is_zero_operand:
+            # The processor expands the operands into words and copies
+            # them to the new context: arg0 = effective address of the
+            # destination, arg1.. = source values (section 3.5).
+            a = inst.operands[0]
+            result_pointer = Word.pointer(
+                self._effective_address(a).packed,
+                self.context_class.class_tag,
+            )
+            self.profile.context_writes += 1
+            self.context_cache.write_next(ARG0_SLOT, result_pointer)
+            copies += 1
+            for index, word in enumerate(source_words):
+                self.profile.context_writes += 1
+                self.context_cache.write_next(ARG1_SLOT + index, word)
+                copies += 1
+        self.cycles.method_call(copies)
+        # Save the continuation in the calling context's RIP.
+        return_ip = self.ip.step(1)
+        self.profile.context_writes += 1
+        self.context_cache.write_current(
+            RIP_SLOT,
+            Word.pointer(return_ip.packed, self.method_class.class_tag),
+        )
+        # CP <- NCP (the next context's RCP was written at allocation).
+        self.context_cache.on_call()
+        self.regs.cp.set(self.regs.ncp.virtual, self.regs.ncp.absolute)
+        self.regs.ncp.clear()
+        self._allocate_next_context()
+        self.activation_count += 1
+        self.recycler.note_allocation(self.regs.cp.virtual.packed)
+        self.depth += 1
+        self.max_depth = max(self.max_depth, self.depth)
+        self.ip = compiled.entry
+        self._prev_dest = None
+
+    def _method_return(self) -> None:
+        self.cycles.method_return()
+        self.profile.context_reads += 1
+        rcp = self.context_cache.read_current(RCP_SLOT)
+        if not rcp.is_pointer:
+            # Top-level return: nothing to return into.
+            self.halted = True
+            self.ip = None
+            return
+        returning_virtual = self.regs.cp.virtual
+        returning_base = self.regs.cp.absolute
+        caller_virtual = self.mmu.fmt.from_packed(rcp.value)
+        caller_base = self._translate(caller_virtual)
+        # The never-used next context of the returning method goes back
+        # on the free list (one memory reference in the COM).
+        old_next_virtual = self.regs.ncp.virtual
+        old_next_base = self.regs.ncp.absolute
+        self.regs.ncp.clear()
+        self._release_context(old_next_virtual, old_next_base)
+        lifo = self.recycler.on_return(returning_virtual.packed)
+        hit = self.context_cache.on_return(
+            caller_base, reuse_current_as_next=lifo)
+        if not hit:
+            self.cycles.context_fault()
+        self.regs.cp.set(caller_virtual, caller_base)
+        if lifo:
+            # The returning context is immediately recycled as the next
+            # context; its RCP already names the caller, so no write is
+            # needed (section 3.6's return sequence).
+            self.regs.ncp.set(returning_virtual, returning_base)
+        else:
+            self._allocate_next_context()
+        self.depth -= 1
+        self.profile.context_reads += 1
+        rip = self.context_cache.read_current(RIP_SLOT)
+        if not rip.is_pointer:
+            raise ReproError("return into a context with no RIP")
+        self.ip = self.mmu.fmt.from_packed(rip.value)
+        self._prev_dest = None
+
+    def _xfer(self, target: Word) -> None:
+        """General control transfer to another context (Lampson XFER)."""
+        if not target.is_pointer or \
+                target.class_tag != self.context_class.class_tag:
+            raise DoesNotUnderstandTrap(
+                "xfer target is not a context",
+                selector="xfer", receiver_class=None)
+        target_virtual = self.mmu.fmt.from_packed(target.value).base()
+        target_base = self._translate(target_virtual)
+        self.recycler.note_capture(target_virtual.packed)
+        self.recycler.note_capture(self.regs.cp.virtual.packed)
+        # Save our continuation so control can transfer back.
+        self.profile.context_writes += 1
+        self.context_cache.write_current(
+            RIP_SLOT,
+            Word.pointer(self.ip.step(1).packed, self.method_class.class_tag),
+        )
+        self.context_cache.adopt_current(target_base)
+        self.regs.cp.set(target_virtual, target_base)
+        self.profile.context_reads += 1
+        rip = self.context_cache.read_current(RIP_SLOT)
+        if not rip.is_pointer:
+            raise ReproError("xfer into a context with no RIP")
+        self.ip = self.mmu.fmt.from_packed(rip.value)
+        self._prev_dest = None
+
+    # ------------------------------------------------------------------
+    # machine-level primitive units
+    # ------------------------------------------------------------------
+
+    def _run_machine_unit(
+        self, unit: str, inst: Instruction, sources: List[Word]
+    ) -> bool:
+        """Execute a primitive that needs machine state.
+
+        Returns True when the unit changed control flow (IP already
+        set); False when the default IP increment should happen.
+        """
+        a = inst.operands[0] if inst.operands else None
+        c = inst.operands[2] if inst.operands else None
+        if unit == "machine.movea":
+            address = self._effective_address(inst.operands[1])
+            self._write_operand(
+                a, Word.pointer(address.packed, self.context_class.class_tag))
+            return False
+        if unit == "machine.at":
+            obj, index = sources[0], sources[1]
+            if not obj.is_pointer or not index.is_small_integer:
+                raise TagMismatch("at: needs (pointer, small integer)")
+            self.cycles.memory_instruction()
+            word = self._load_memory_word(
+                self.mmu.fmt.from_packed(obj.value).step(index.value))
+            self._write_operand(a, word)
+            return False
+        if unit == "machine.atput":
+            obj, index, value = sources[0], sources[1], sources[2]
+            if not obj.is_pointer or not index.is_small_integer:
+                raise TagMismatch("at:put: needs (pointer, small integer)")
+            self.cycles.memory_instruction()
+            self._note_capture_if_context(value)
+            self._store_through_pointer(
+                Word.pointer(
+                    self.mmu.fmt.from_packed(obj.value)
+                        .step(index.value).packed,
+                    obj.class_tag),
+                value)
+            return False
+        if unit == "machine.as":
+            if not self.regs.ps.privileged:
+                raise ProtectionTrap(
+                    "the as instruction is privileged (capability forging)")
+            value, tag_word = sources[0], sources[1]
+            if not tag_word.is_small_integer:
+                raise TagMismatch("as: needs a small integer tag")
+            tag = Tag(tag_word.value)
+            if tag is Tag.OBJECT_POINTER:
+                retagged = Word.pointer(int(value.value),
+                                        self.object_class.class_tag)
+            else:
+                retagged = Word(tag, value.value)
+            self._write_operand(a, retagged)
+            return False
+        if unit == "machine.fjmp":
+            displacement = self._read_operand(c)
+            if not displacement.is_small_integer:
+                raise TagMismatch("jump displacement must be an integer")
+            if is_true(sources[0]):
+                self.ip = self.ip.step(1 + displacement.value)
+                self.cycles.taken_branch()
+                self._prev_dest = None
+                return True
+            return False
+        if unit == "machine.rjmp":
+            displacement = self._read_operand(c)
+            if not displacement.is_small_integer:
+                raise TagMismatch("jump displacement must be an integer")
+            if is_true(sources[0]):
+                self.ip = self.ip.step(1 - displacement.value)
+                self.cycles.taken_branch()
+                self._prev_dest = None
+                return True
+            return False
+        if unit == "machine.xfer":
+            self._xfer(sources[0])
+            return True
+        if unit == "machine.new":
+            cls = self._class_from_atom(sources[0])
+            instance = self.heap.allocate(cls, max(cls.instance_size, 1))
+            self._write_result_or_operand(inst, self.heap.pointer_to(instance))
+            return False
+        if unit == "machine.newsize":
+            cls = self._class_from_atom(sources[0])
+            size = sources[1]
+            if not size.is_small_integer or size.value < 0:
+                raise TagMismatch("new: needs a non-negative size")
+            instance = self.heap.allocate(cls, max(size.value, 1))
+            self._write_result_or_operand(inst, self.heap.pointer_to(instance))
+            return False
+        raise TagMismatch(f"unknown machine unit {unit!r}")
+
+    def _class_from_atom(self, word: Word) -> ObjectClass:
+        if word.tag is not Tag.ATOM or word.value not in self.registry:
+            raise TagMismatch(f"not a class atom: {word!r}")
+        return self.registry.by_name(word.value)
+
+    def _write_result_or_operand(self, inst: Instruction, word: Word) -> None:
+        """Destination write that also works for zero-operand formats."""
+        if inst.is_zero_operand:
+            self._write_result(inst, word)
+        else:
+            self._write_operand(inst.operands[0], word)
+
+    # ------------------------------------------------------------------
+    # the interpretation loop
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> Instruction:
+        # The instruction cache holds absolute addresses: methods are
+        # packed densely in absolute space, which is what a hardware
+        # icache would index (virtual code addresses put segment bits
+        # in the high bits and would alias every method's entry point
+        # onto the same sets).  The IP is pretranslated (section 3.1),
+        # so this lookup costs nothing extra.
+        absolute = self._translate(self.ip)
+        self._fetch_absolute = absolute
+        if not self.icache.reference(absolute):
+            self.cycles.icache_miss()
+        self.profile.instruction_fetches += 1
+        word = self.mmu.absolute.read(absolute)
+        if word.tag is not Tag.INSTRUCTION:
+            raise ProtectionTrap(
+                f"attempt to execute non-instruction word at {self.ip!r}")
+        return Instruction.decode(word.value)
+
+    def _check_raw_hazard(self, inst: Instruction) -> None:
+        if self._prev_dest is None or inst.is_zero_operand:
+            return
+        for operand in inst.operands[1:]:
+            if operand.mode is Mode.CONTEXT and \
+                    (operand.space.value, operand.offset) == self._prev_dest:
+                self.cycles.raw_hazard()
+                break
+
+    def step(self) -> None:
+        """Interpret one instruction."""
+        if self.halted or self.ip is None:
+            raise MachineHalted("machine is halted")
+        inst = self._fetch()
+        self.cycles.issue()
+        self._check_raw_hazard(inst)
+        arch = self.opcodes.architectural_op(inst.opcode)
+        if arch is Op.HALT:
+            self.halted = True
+            self.ip = None
+            return
+        sources, source_operands = self._dispatch_sources(inst)
+        outcome = self._itlb_translate(inst, sources)
+        control_transfer = False
+        if outcome.entry.primitive:
+            unit = outcome.entry.unit
+            try:
+                if unit.startswith("machine."):
+                    control_transfer = self._run_machine_unit(
+                        unit, inst, sources)
+                else:
+                    result = execute_unit(unit, sources)
+                    self._write_result(inst, result)
+            except TagMismatch:
+                # The operand classes had no primitive meaning after
+                # all: take the defined-method path via full lookup.
+                self._dispatch_defined(inst, sources)
+                control_transfer = True
+        else:
+            self._method_call(inst, outcome.entry.method, sources)
+            control_transfer = True
+        if not control_transfer:
+            if inst.returns:
+                self._method_return()
+            else:
+                self.ip = self.ip.step(1)
+                self._record_dest(inst)
+        # A control transfer with the return bit set (jump/xfer/call)
+        # is a program error the assembler rejects; the transfer wins.
+
+    def _record_dest(self, inst: Instruction) -> None:
+        if inst.is_zero_operand:
+            self._prev_dest = None
+            return
+        arch = self.opcodes.architectural_op(inst.opcode)
+        if arch in (Op.FJMP, Op.RJMP, Op.XFER, Op.HALT, Op.ATPUT):
+            self._prev_dest = None
+            return
+        a = inst.operands[0]
+        if a.mode is Mode.CONTEXT:
+            self._prev_dest = (a.space.value, a.offset)
+        else:
+            self._prev_dest = None
+
+    def _write_result(self, inst: Instruction, result: Word) -> None:
+        if inst.is_zero_operand:
+            # Result goes through the next context's result pointer.
+            self.profile.context_reads += 1
+            target = self.context_cache.read_next(ARG0_SLOT)
+            if target.is_pointer:
+                self._store_through_pointer(target, result)
+            else:
+                self.profile.context_writes += 1
+                self.context_cache.write_next(ARG0_SLOT, result)
+            return
+        arch = self.opcodes.architectural_op(inst.opcode)
+        if arch is Op.ATPUT:
+            return  # at:put: has no destination
+        self._write_operand(inst.operands[0], result)
+
+    def _dispatch_defined(self, inst: Instruction, sources: List[Word]) -> None:
+        """Primitive unit refused the operands: full lookup, defined call."""
+        selector = self.opcodes.selector_of(inst.opcode)
+        receiver_tag = sources[0].class_tag if sources else \
+            self.object_class.class_tag
+        lookup = self.registry.lookup_by_tag(selector, receiver_tag)
+        self.cycles.itlb_miss(lookup.probes)
+        if isinstance(lookup.method, PrimitiveMethod):
+            raise DoesNotUnderstandTrap(
+                f"operands of {selector!r} fit no primitive and no "
+                f"defined method",
+                selector=selector,
+                receiver_class=self.registry.by_tag(receiver_tag),
+            )
+        self._method_call(inst, lookup.method, sources)
+
+    # ------------------------------------------------------------------
+    # program execution
+    # ------------------------------------------------------------------
+
+    def start(self, main: CompiledMethod,
+              arguments: Sequence[Word] = ()) -> None:
+        """Set up the initial contexts and point the machine at ``main``.
+
+        Re-starting releases any contexts left from a previous run (the
+        caches stay warm -- deliberately, so repeated runs measure
+        steady-state behaviour).
+        """
+        self.halted = False
+        for pointer in (self.regs.ncp, self.regs.cp):
+            if pointer.is_set:
+                self._release_context(pointer.virtual, pointer.absolute)
+                pointer.clear()
+        self._prev_dest = None
+        self._allocate_next_context()
+        self.context_cache.on_call()
+        self.regs.cp.set(self.regs.ncp.virtual, self.regs.ncp.absolute)
+        self.regs.ncp.clear()
+        self._allocate_next_context()
+        self.activation_count += 1
+        self.recycler.note_allocation(self.regs.cp.virtual.packed)
+        self.depth = 1
+        self.max_depth = 1
+        # Top-level result convention: arg0 holds a pointer to a result
+        # cell so a returning main stores its answer somewhere readable.
+        self._result_cell = self.heap.allocate(self.array_class, 1,
+                                               kind="result")
+        self.context_cache.write_current(
+            ARG0_SLOT,
+            self.heap.pointer_to(self._result_cell),
+        )
+        for index, word in enumerate(arguments):
+            self.context_cache.write_current(ARG1_SLOT + index, word)
+        self.ip = main.entry
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Step until halt; returns the number of instructions executed."""
+        executed = 0
+        while not self.halted:
+            if executed >= max_instructions:
+                raise SimulationLimitExceeded(
+                    f"exceeded budget of {max_instructions} instructions")
+            self.step()
+            executed += 1
+        return executed
+
+    def result(self) -> Word:
+        """The word the top-level method stored through its result pointer."""
+        if self._result_cell is None:
+            raise MachineHalted("no program was started")
+        return self.heap.load(self._result_cell, 0)
+
+    def run_program(
+        self,
+        main: CompiledMethod,
+        arguments: Sequence[Word] = (),
+        max_instructions: int = 1_000_000,
+    ) -> Word:
+        """Convenience: start, run to halt, return the result word."""
+        self.start(main, arguments)
+        self.run(max_instructions)
+        return self.result()

@@ -1,0 +1,84 @@
+"""Processor state: the six COM registers (paper section 3.2).
+
+"The processor state of the COM consists of only six registers: the
+context pointer (CP), the next context pointer (NCP), the free context
+pointer (FP), the instruction pointer (IP), the team space number (SN),
+and process status (PS).  Only the CP needs to be saved on a method
+call.  The CP, SN, and PS registers must be saved on a process switch."
+
+CP, NCP and IP are additionally *pretranslated* -- their absolute
+translations are cached in special hardware registers (section 3.1) --
+which we model by carrying the absolute base alongside each virtual
+pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.fpa import FPAddress
+
+
+@dataclass
+class ProcessStatus:
+    """The PS register: mode bits relevant to the simulator.
+
+    ``privileged`` gates the ``as`` instruction (capability forging);
+    ``halted`` stops instruction issue; ``condition`` is scratch state
+    some trap handlers use.
+    """
+
+    privileged: bool = False
+    halted: bool = False
+    trap_pending: bool = False
+
+    def pack(self) -> int:
+        return (
+            int(self.privileged)
+            | (int(self.halted) << 1)
+            | (int(self.trap_pending) << 2)
+        )
+
+    @staticmethod
+    def unpack(bits: int) -> "ProcessStatus":
+        return ProcessStatus(
+            privileged=bool(bits & 1),
+            halted=bool(bits & 2),
+            trap_pending=bool(bits & 4),
+        )
+
+
+@dataclass
+class PretranslatedPointer:
+    """A virtual pointer plus its cached absolute translation."""
+
+    virtual: Optional[FPAddress] = None
+    absolute: Optional[int] = None
+
+    def set(self, virtual: FPAddress, absolute: int) -> None:
+        self.virtual = virtual
+        self.absolute = absolute
+
+    def clear(self) -> None:
+        self.virtual = None
+        self.absolute = None
+
+    @property
+    def is_set(self) -> bool:
+        return self.virtual is not None
+
+
+@dataclass
+class RegisterFile:
+    """The architected registers plus their pretranslation shadows."""
+
+    cp: PretranslatedPointer = field(default_factory=PretranslatedPointer)
+    ncp: PretranslatedPointer = field(default_factory=PretranslatedPointer)
+    ip: Optional[FPAddress] = None
+    sn: int = 0
+    ps: ProcessStatus = field(default_factory=ProcessStatus)
+
+    def process_switch_state(self) -> dict:
+        """The registers that must be saved on a process switch."""
+        return {"cp": self.cp.virtual, "sn": self.sn, "ps": self.ps.pack()}

@@ -1,0 +1,118 @@
+"""Exception hierarchy for the COM reproduction.
+
+The paper's machine signals *traps* for events that must be handled by
+system software (bounds violations, segment aliasing, ITLB double
+misses, free-list exhaustion).  We model each trap as an exception so
+that simulator clients can either handle them (as the COM trap routines
+would) or let them propagate as hard errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class TrapError(ReproError):
+    """Base class for conditions the COM would raise as a hardware trap."""
+
+
+class BoundsTrap(TrapError):
+    """A segment access fell outside the segment's length.
+
+    Carries enough context for the alias-forwarding trap handler of
+    section 2.2 to decide whether the access should be retried through
+    a forwarded (grown) segment.
+    """
+
+    def __init__(self, message: str, *, segment=None, offset=None, length=None):
+        super().__init__(message)
+        self.segment = segment
+        self.offset = offset
+        self.length = length
+
+
+class AliasTrap(TrapError):
+    """An access through a stale floating point address must be forwarded.
+
+    Raised when an object has been grown out of the exponent range of an
+    old pointer; the handler rewrites the pointer with the new segment
+    name (paper section 2.2).
+    """
+
+    def __init__(self, message: str, *, old_address=None, new_address=None):
+        super().__init__(message)
+        self.old_address = old_address
+        self.new_address = new_address
+
+
+class SegmentFault(TrapError):
+    """A virtual address named a segment with no descriptor."""
+
+
+class ProtectionTrap(TrapError):
+    """A capability did not permit the attempted access.
+
+    Includes executing the conditionally privileged ``as`` instruction
+    (tag forging) from unprivileged code.
+    """
+
+
+class DoesNotUnderstandTrap(TrapError):
+    """Method lookup failed for (selector, receiver class) in every dictionary.
+
+    The Smalltalk ``doesNotUnderstand:`` condition: an abstract
+    instruction was executed whose opcode has no method for the operand
+    classes, even after the full dictionary search on an ITLB miss.
+    """
+
+    def __init__(self, message: str, *, selector=None, receiver_class=None):
+        super().__init__(message)
+        self.selector = selector
+        self.receiver_class = receiver_class
+
+
+class FreeListExhausted(TrapError):
+    """The context free list (or heap) had no block to allocate."""
+
+
+class UninitializedAccess(TrapError):
+    """A word with the *uninitialized* tag was used as an operand."""
+
+
+class InvalidAddress(ReproError):
+    """An address could not be encoded/decoded in the floating point format."""
+
+
+class TagMismatch(ReproError):
+    """A primitive operation was applied to words of the wrong tag.
+
+    Note: in the COM this is *not* an error — it causes a method call.
+    The simulator raises this only from internal function units that
+    were invoked with operands the ITLB should never have routed there.
+    """
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into or decoded from 32 bits."""
+
+
+class AssemblerError(ReproError):
+    """Source-level error in a COM assembly program."""
+
+
+class CompileError(ReproError):
+    """Source-level error in a Smalltalk-subset program."""
+
+
+class FithError(ReproError):
+    """Source-level or runtime error in a Fith program."""
+
+
+class MachineHalted(ReproError):
+    """The simulator was stepped after halting."""
+
+
+class SimulationLimitExceeded(ReproError):
+    """A watchdog instruction budget was exceeded (runaway program)."""

@@ -1,0 +1,20 @@
+"""Experiments regenerating every figure and quantitative claim.
+
+Index (see DESIGN.md section 4):
+
+==========  ======================================================
+FIG-10      ITLB hit ratio vs cache size      (:mod:`.fig10`)
+FIG-11      instruction cache hit ratio        (:mod:`.fig11`)
+TAB-CALL    call/return cycle costs            (:mod:`.call_cost`)
+TAB-CTX     context allocation statistics      (:mod:`.context_stats`)
+TAB-CCACHE  context cache vs nesting depth     (:mod:`.context_cache`)
+TAB-ADDR    floating vs fixed addressing       (:mod:`.addr_compare`)
+TAB-3ADDR   stack vs three-address counts      (:mod:`.stack_vs_3addr`)
+==========  ======================================================
+
+``python -m repro.experiments.harness`` runs everything.
+"""
+
+from repro.experiments.common import ClaimCheck, ExperimentResult
+
+__all__ = ["ClaimCheck", "ExperimentResult"]

@@ -1,0 +1,16 @@
+"""Fith: Forth syntax, Smalltalk semantics (paper section 5)."""
+
+from repro.fith.code import CompiledWord, FithInstruction, FithOp
+from repro.fith.interp import FithMachine, FithObject
+from repro.fith.programs import (
+    CORPUS,
+    combined_trace,
+    polymorphic_workload,
+    trace_for,
+)
+
+__all__ = [
+    "CORPUS", "CompiledWord", "FithInstruction", "FithMachine",
+    "FithObject", "FithOp", "combined_trace", "polymorphic_workload",
+    "trace_for",
+]

@@ -1,0 +1,683 @@
+"""The Fith interpreter: Forth syntax, Smalltalk semantics (section 5).
+
+Every word that is not stack manipulation or control flow is a
+*message* sent to the object on top of the stack, resolved against the
+class hierarchy exactly like a Smalltalk send -- which is why traces of
+Fith execution exercise the same instruction-translation mechanism the
+COM uses, and why the paper's ITLB results transfer.
+
+Source language::
+
+    \\ line comment        ( inline comment )
+    : square  dup * ;                 \\ define 'square' on Object
+    :: SmallInteger half  2 / ;       \\ define 'half' on SmallInteger
+    class Point 2                     \\ class with 2 fields
+    variable total                    \\ a global one-field cell
+    5 square total !                  \\ immediate (main) code
+    10 0 do i . loop
+    flag @ if 1 else 2 then
+
+Control words: ``if else then``, ``begin until``, ``begin while
+repeat``, ``do loop`` with ``i``/``j``, ``exit``.
+
+The interpreter records a :class:`~repro.trace.events.TraceEvent` per
+instruction when tracing is enabled: instruction address, opcode number
+and the class of the top of stack -- the exact record of section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DoesNotUnderstandTrap, FithError
+from repro.memory.tags import Tag, Word
+from repro.objects.model import ClassRegistry, ObjectClass, PrimitiveMethod
+from repro.core.isa import OpcodeTable
+from repro.fith.code import (
+    CompiledWord,
+    FithInstruction,
+    FithOp,
+    MACHINE_OP_SELECTORS,
+)
+from repro.trace.events import TraceEvent
+
+_TRUE = Word.atom("true")
+_FALSE = Word.atom("false")
+_NIL = Word.atom("nil")
+
+
+def _bool(value: bool) -> Word:
+    return _TRUE if value else _FALSE
+
+
+def _is_true(word: Word) -> bool:
+    if word.is_small_integer:
+        return word.value != 0
+    return word.same_object_as(_TRUE)
+
+
+@dataclass
+class FithObject:
+    """A heap object: a class tag and a list of field words."""
+
+    class_tag: int
+    fields: List[Word]
+
+
+@dataclass
+class _Frame:
+    word: CompiledWord
+    pc: int = 0
+
+
+@dataclass
+class _LoopFrame:
+    index: int
+    limit: int
+
+
+class FithMachine:
+    """Compiler plus interpreter for Fith programs."""
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self.registry = ClassRegistry()
+        self.opcodes = OpcodeTable()
+        self.object_class = self.registry.define_class("Object")
+        for name in ("Uninitialized", "SmallInteger", "Float", "Atom",
+                     "Instruction", "ObjectPointer"):
+            self.registry.by_name(name).superclass = self.object_class
+        self.array_class = self.registry.define_class(
+            "Array", self.object_class)
+        self.stack: List[Word] = []
+        self.output: List[Word] = []
+        self.trace: Optional[List[TraceEvent]] = [] if trace else None
+        self.steps = 0
+        self._objects: Dict[int, FithObject] = {}
+        self._next_oid = 1
+        self._words: Dict[str, CompiledWord] = {}
+        self._globals: Dict[str, Word] = {}
+        self._next_address = 0
+        self._machine_opcode = {
+            op: self.opcodes.intern(spelling)
+            for op, spelling in MACHINE_OP_SELECTORS.items()
+        }
+        self._primitives: Dict[str, Callable[["FithMachine"], None]] = {}
+        self._install_primitives()
+
+    # ------------------------------------------------------------------
+    # object model
+    # ------------------------------------------------------------------
+
+    def define_class(self, name: str, fields: int = 0,
+                     superclass: Optional[str] = None) -> ObjectClass:
+        parent = (self.registry.by_name(superclass)
+                  if superclass else self.object_class)
+        if name in self.registry:
+            cls = self.registry.by_name(name)
+            cls.instance_size = fields
+            return cls
+        return self.registry.define_class(name, parent, instance_size=fields)
+
+    def allocate(self, cls: ObjectClass, size: Optional[int] = None) -> Word:
+        oid = self._next_oid
+        self._next_oid += 1
+        count = cls.instance_size if size is None else size
+        self._objects[oid] = FithObject(cls.class_tag, [_NIL] * max(count, 0))
+        return Word.pointer(oid, cls.class_tag)
+
+    def object_of(self, pointer: Word) -> FithObject:
+        if not pointer.is_pointer:
+            raise FithError(f"not an object pointer: {pointer!r}")
+        try:
+            return self._objects[pointer.value]
+        except KeyError:
+            raise FithError(f"dangling pointer {pointer!r}") from None
+
+    # ------------------------------------------------------------------
+    # stack helpers
+    # ------------------------------------------------------------------
+
+    def push(self, word: Word) -> None:
+        self.stack.append(word)
+
+    def pop(self) -> Word:
+        try:
+            return self.stack.pop()
+        except IndexError:
+            raise FithError("stack underflow") from None
+
+    def pop_int(self) -> int:
+        word = self.pop()
+        if not word.is_small_integer:
+            raise FithError(f"expected a small integer, got {word!r}")
+        return word.value
+
+    def _tos_class(self) -> int:
+        return self.stack[-1].class_tag if self.stack else -1
+
+    # ------------------------------------------------------------------
+    # primitive vocabulary
+    # ------------------------------------------------------------------
+
+    def _register(self, class_name: str, selector: str,
+                  handler: Callable[["FithMachine"], None]) -> None:
+        unit = f"fith.{class_name}.{selector}"
+        self._primitives[unit] = handler
+        self.registry.by_name(class_name).define_primitive(selector, unit)
+        self.opcodes.intern(selector)
+
+    def _numeric_binary(self, fn) -> Callable[["FithMachine"], None]:
+        def handler(machine: "FithMachine") -> None:
+            b = machine.pop()
+            a = machine.pop()
+            if not (a.is_number and b.is_number):
+                raise FithError(f"numeric word applied to {a!r}, {b!r}")
+            result = fn(a.value, b.value)
+            if isinstance(result, bool):
+                machine.push(_bool(result))
+            elif a.is_small_integer and b.is_small_integer \
+                    and isinstance(result, int):
+                machine.push(Word.small_integer(result))
+            else:
+                machine.push(Word.floating(float(result)))
+        return handler
+
+    def _install_primitives(self) -> None:
+        for class_name in ("SmallInteger", "Float"):
+            self._register(class_name, "+", self._numeric_binary(
+                lambda a, b: a + b))
+            self._register(class_name, "-", self._numeric_binary(
+                lambda a, b: a - b))
+            self._register(class_name, "*", self._numeric_binary(
+                lambda a, b: a * b))
+            self._register(class_name, "/", self._numeric_binary(_fith_div))
+            self._register(class_name, "<", self._numeric_binary(
+                lambda a, b: a < b))
+            self._register(class_name, "<=", self._numeric_binary(
+                lambda a, b: a <= b))
+            self._register(class_name, ">", self._numeric_binary(
+                lambda a, b: a > b))
+            self._register(class_name, ">=", self._numeric_binary(
+                lambda a, b: a >= b))
+            self._register(class_name, "max", self._numeric_binary(max))
+            self._register(class_name, "min", self._numeric_binary(min))
+        self._register("SmallInteger", "mod", self._numeric_binary(
+            lambda a, b: a % b if b else _raise_div0()))
+        self._register("SmallInteger", "neg", _unary_numeric(
+            lambda v: -v))
+        self._register("Float", "neg", _unary_numeric(lambda v: -v))
+        self._register("SmallInteger", "abs", _unary_numeric(abs))
+        self._register("Float", "abs", _unary_numeric(abs))
+        self._register("Float", "floor", _float_floor)
+        self._register("SmallInteger", "float", _int_to_float)
+
+        # Equality and printing live on Object: any receiver works.
+        self._register("Object", "=", _generic_eq)
+        self._register("Object", "<>", _generic_ne)
+        self._register("Object", ".", _print_pop)
+
+        # Boolean algebra on the atoms true/false.
+        self._register("Atom", "and", _logical(lambda a, b: a and b))
+        self._register("Atom", "or", _logical(lambda a, b: a or b))
+        self._register("Atom", "not", _logical_not)
+
+        # Object and array vocabulary.
+        self._register("Atom", "new", _new_instance)
+        self._register("SmallInteger", "array", _new_array)
+        self._register("SmallInteger", "at", _array_at)
+        self._register("Object", "put", _array_put)
+        # Dispatch sees the *referent's* class in a pointer word, so the
+        # generic pointer vocabulary lives on Object.
+        self._register("Object", "size", _array_size)
+        self._register("Object", "@", _cell_fetch)
+        self._register("Object", "!", _cell_store)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tokenize(source: str) -> List[str]:
+        tokens: List[str] = []
+        for raw_line in source.splitlines():
+            line = raw_line.split("\\", 1)[0]
+            parts = line.split()
+            tokens.extend(parts)
+        # Strip ( ... ) comments (token-delimited, possibly multi-token).
+        result: List[str] = []
+        depth = 0
+        for token in tokens:
+            if token == "(":
+                depth += 1
+                continue
+            if token == ")":
+                if depth == 0:
+                    raise FithError("unbalanced comment )")
+                depth -= 1
+                continue
+            if depth == 0:
+                result.append(token)
+        if depth:
+            raise FithError("unterminated ( comment")
+        return result
+
+    def _literal(self, token: str) -> Optional[Word]:
+        if token == "true":
+            return _TRUE
+        if token == "false":
+            return _FALSE
+        if token == "nil":
+            return _NIL
+        if token.startswith("#") and len(token) > 1:
+            return Word.atom(token[1:])
+        try:
+            return Word.small_integer(int(token))
+        except (ValueError, Exception):
+            pass
+        try:
+            if "." in token:
+                return Word.floating(float(token))
+        except ValueError:
+            pass
+        return None
+
+    def load(self, source: str) -> Optional[CompiledWord]:
+        """Compile a program; returns the main word (immediate code).
+
+        Definitions are installed as methods; immediate (outside-
+        definition) code is collected into an anonymous main word.
+        """
+        tokens = self._tokenize(source)
+        main_instructions: List[FithInstruction] = []
+        main_control: List[Tuple[str, int]] = []
+        position = 0
+        while position < len(tokens):
+            token = tokens[position]
+            if token == ":":
+                position = self._compile_definition(
+                    tokens, position + 1, "Object")
+            elif token == "::":
+                if position + 1 >= len(tokens):
+                    raise FithError(":: needs a class name")
+                class_name = tokens[position + 1]
+                if class_name not in self.registry:
+                    raise FithError(f":: on unknown class {class_name!r}")
+                position = self._compile_definition(
+                    tokens, position + 2, class_name)
+            elif token == "class":
+                if position + 2 >= len(tokens) or \
+                        not tokens[position + 2].isdigit():
+                    raise FithError("class needs a name and a field count")
+                self.define_class(tokens[position + 1],
+                                  int(tokens[position + 2]))
+                position += 3
+            elif token == "variable":
+                if position + 1 >= len(tokens):
+                    raise FithError("variable needs a name")
+                name = tokens[position + 1]
+                self._globals[name] = self.allocate(self.array_class, 1)
+                position += 2
+            else:
+                consumed = self._compile_token(token, main_instructions,
+                                               control_stack=main_control)
+                position += consumed
+        if main_control:
+            raise FithError("unterminated control structure in main code")
+        if not main_instructions:
+            return None
+        main_instructions.append(FithInstruction(FithOp.HALT))
+        word = CompiledWord("(main)", "Object", self._next_address,
+                            main_instructions)
+        self._next_address += len(main_instructions)
+        self._words.setdefault("(main)", word)
+        self._main = word
+        return word
+
+    _STACK_OPS = {
+        "dup": FithOp.DUP, "drop": FithOp.DROP, "swap": FithOp.SWAP,
+        "over": FithOp.OVER, "rot": FithOp.ROT,
+        "i": FithOp.LOOP_I, "j": FithOp.LOOP_J, "exit": FithOp.EXIT,
+    }
+
+    def _compile_definition(self, tokens: List[str], position: int,
+                            class_name: str) -> int:
+        if position >= len(tokens):
+            raise FithError("definition missing a name")
+        name = tokens[position]
+        position += 1
+        instructions: List[FithInstruction] = []
+        control: List[Tuple[str, int]] = []
+        while position < len(tokens):
+            token = tokens[position]
+            if token == ";":
+                if control:
+                    raise FithError(
+                        f"unterminated control structure in {name!r}")
+                instructions.append(FithInstruction(FithOp.RETURN))
+                word = CompiledWord(name, class_name, self._next_address,
+                                    instructions)
+                self._next_address += len(instructions)
+                self._words[f"{class_name}>>{name}"] = word
+                cls = self.registry.by_name(class_name)
+                cls.define_method(name, word)
+                self.opcodes.intern(name)
+                return position + 1
+            position += self._compile_token(token, instructions, control)
+        raise FithError(f"definition {name!r} missing ;")
+
+    def _compile_token(self, token: str,
+                       instructions: List[FithInstruction],
+                       control_stack: Optional[List[Tuple[str, int]]]) -> int:
+        """Compile one token into ``instructions``; returns tokens used."""
+        word = self._literal(token)
+        if word is not None:
+            instructions.append(FithInstruction(FithOp.PUSH, literal=word))
+            return 1
+        if token in self._STACK_OPS:
+            instructions.append(FithInstruction(self._STACK_OPS[token]))
+            return 1
+        if token in ("if", "else", "then", "begin", "until", "while",
+                     "repeat", "do", "loop"):
+            if control_stack is None:
+                raise FithError(
+                    f"control word {token!r} outside a definition")
+            self._compile_control(token, instructions, control_stack)
+            return 1
+        if token in self._globals:
+            instructions.append(
+                FithInstruction(FithOp.PUSH, literal=self._globals[token]))
+            return 1
+        # Everything else is an abstract instruction: a late-bound send.
+        self.opcodes.intern(token)
+        instructions.append(FithInstruction(FithOp.SEND, selector=token))
+        return 1
+
+    def _compile_control(self, token: str,
+                         instructions: List[FithInstruction],
+                         control: List[Tuple[str, int]]) -> None:
+        here = len(instructions)
+        if token == "if":
+            instructions.append(FithInstruction(FithOp.BRANCH_IF_FALSE))
+            control.append(("if", here))
+        elif token == "else":
+            kind, origin = _pop_control(control, "if", "else")
+            instructions.append(FithInstruction(FithOp.BRANCH))
+            instructions[origin].displacement = \
+                len(instructions) - origin - 1
+            control.append(("else", len(instructions) - 1))
+        elif token == "then":
+            kind, origin = _pop_control(control, "if", "then", "else")
+            instructions[origin].displacement = \
+                len(instructions) - origin - 1
+        elif token == "begin":
+            control.append(("begin", here))
+        elif token == "until":
+            kind, origin = _pop_control(control, "begin", "until")
+            instructions.append(FithInstruction(
+                FithOp.BRANCH_IF_FALSE,
+                displacement=origin - here - 1))
+        elif token == "while":
+            kind, origin = _pop_control(control, "begin", "while")
+            instructions.append(FithInstruction(FithOp.BRANCH_IF_FALSE))
+            control.append(("while", here))
+            control.append(("begin-while", origin))
+        elif token == "repeat":
+            kind, begin_origin = _pop_control(
+                control, "begin-while", "repeat")
+            kind, while_origin = _pop_control(control, "while", "repeat")
+            instructions.append(FithInstruction(
+                FithOp.BRANCH, displacement=begin_origin - here - 1))
+            instructions[while_origin].displacement = \
+                len(instructions) - while_origin - 1
+        elif token == "do":
+            instructions.append(FithInstruction(FithOp.DO))
+            control.append(("do", here))
+        elif token == "loop":
+            kind, origin = _pop_control(control, "do", "loop")
+            instructions.append(FithInstruction(
+                FithOp.LOOP, displacement=origin - here))
+        else:  # pragma: no cover - guarded by caller
+            raise FithError(f"unknown control word {token!r}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 5_000_000) -> None:
+        """Execute the main word compiled by :meth:`load`."""
+        main = getattr(self, "_main", None)
+        if main is None:
+            raise FithError("no main code loaded")
+        frames: List[_Frame] = [_Frame(main)]
+        loops: List[_LoopFrame] = []
+        while frames:
+            if self.steps >= max_steps:
+                raise FithError(f"exceeded step budget {max_steps}")
+            frame = frames[-1]
+            if frame.pc >= len(frame.word.instructions):
+                frames.pop()
+                continue
+            inst = frame.word.instructions[frame.pc]
+            self.steps += 1
+            if self.trace is not None:
+                opcode = (self.opcodes.number_of(inst.selector)
+                          if inst.op is FithOp.SEND
+                          else self._machine_opcode[inst.op])
+                self.trace.append(TraceEvent(
+                    frame.word.base_address + frame.pc,
+                    opcode,
+                    self._tos_class(),
+                    dispatched=inst.op.is_dispatched,
+                ))
+            frame.pc += 1
+            op = inst.op
+            if op is FithOp.PUSH:
+                self.push(inst.literal)
+            elif op is FithOp.DUP:
+                self.push(self.stack[-1]) if self.stack else self.pop()
+            elif op is FithOp.DROP:
+                self.pop()
+            elif op is FithOp.SWAP:
+                b, a = self.pop(), self.pop()
+                self.push(b)
+                self.push(a)
+            elif op is FithOp.OVER:
+                if len(self.stack) < 2:
+                    raise FithError("over on short stack")
+                self.push(self.stack[-2])
+            elif op is FithOp.ROT:
+                c, b, a = self.pop(), self.pop(), self.pop()
+                self.push(b)
+                self.push(c)
+                self.push(a)
+            elif op is FithOp.BRANCH:
+                frame.pc += inst.displacement
+            elif op is FithOp.BRANCH_IF_FALSE:
+                if not _is_true(self.pop()):
+                    frame.pc += inst.displacement
+            elif op is FithOp.DO:
+                start = self.pop_int()
+                limit = self.pop_int()
+                loops.append(_LoopFrame(start, limit))
+            elif op is FithOp.LOOP:
+                if not loops:
+                    raise FithError("loop without do")
+                loop = loops[-1]
+                loop.index += 1
+                if loop.index < loop.limit:
+                    # Branch back to the instruction after the DO.
+                    frame.pc += inst.displacement
+                else:
+                    loops.pop()
+            elif op is FithOp.LOOP_I:
+                if not loops:
+                    raise FithError("i outside a do loop")
+                self.push(Word.small_integer(loops[-1].index))
+            elif op is FithOp.LOOP_J:
+                if len(loops) < 2:
+                    raise FithError("j needs two nested do loops")
+                self.push(Word.small_integer(loops[-2].index))
+            elif op in (FithOp.RETURN, FithOp.EXIT):
+                frames.pop()
+            elif op is FithOp.HALT:
+                frames.clear()
+            elif op is FithOp.SEND:
+                self._send(inst.selector, frames)
+            else:  # pragma: no cover
+                raise FithError(f"unhandled op {op}")
+
+    def _send(self, selector: str, frames: List[_Frame]) -> None:
+        # With an empty stack there is no receiver class; dispatch falls
+        # back to Object (zero-argument words like 'setup' still work).
+        receiver_tag = (self.stack[-1].class_tag if self.stack
+                        else self.object_class.class_tag)
+        lookup = self.registry.lookup_by_tag(selector, receiver_tag)
+        method = lookup.method
+        if isinstance(method, PrimitiveMethod):
+            self._primitives[method.unit](self)
+        else:
+            frames.append(_Frame(method.code))
+
+    # -- conveniences -----------------------------------------------------
+
+    def run_source(self, source: str, max_steps: int = 5_000_000) -> None:
+        self.load(source)
+        self.run(max_steps)
+
+    def result(self) -> Optional[Word]:
+        """Top of stack after a run (None when empty)."""
+        return self.stack[-1] if self.stack else None
+
+
+def _pop_control(control: List[Tuple[str, int]], expected: str,
+                 closer: str, alt: str = None):
+    if not control or control[-1][0] not in (expected, alt):
+        raise FithError(f"{closer!r} without matching {expected!r}")
+    return control.pop()
+
+
+def _fith_div(a, b):
+    if b == 0:
+        raise FithError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        quotient = abs(a) // abs(b)
+        return -quotient if (a < 0) != (b < 0) else quotient
+    return a / b
+
+
+def _raise_div0():
+    raise FithError("modulo by zero")
+
+
+def _unary_numeric(fn):
+    def handler(machine: FithMachine) -> None:
+        a = machine.pop()
+        if not a.is_number:
+            raise FithError(f"numeric word applied to {a!r}")
+        value = fn(a.value)
+        if a.is_small_integer:
+            machine.push(Word.small_integer(int(value)))
+        else:
+            machine.push(Word.floating(float(value)))
+    return handler
+
+
+def _float_floor(machine: FithMachine) -> None:
+    a = machine.pop()
+    if not a.is_number:
+        raise FithError("floor needs a number")
+    machine.push(Word.small_integer(int(a.value // 1)))
+
+
+def _int_to_float(machine: FithMachine) -> None:
+    a = machine.pop()
+    if not a.is_number:
+        raise FithError("float needs a number")
+    machine.push(Word.floating(float(a.value)))
+
+
+def _generic_eq(machine: FithMachine) -> None:
+    b = machine.pop()
+    a = machine.pop()
+    machine.push(_bool(a.same_object_as(b)))
+
+
+def _generic_ne(machine: FithMachine) -> None:
+    b = machine.pop()
+    a = machine.pop()
+    machine.push(_bool(not a.same_object_as(b)))
+
+
+def _print_pop(machine: FithMachine) -> None:
+    machine.output.append(machine.pop())
+
+
+def _logical(fn):
+    def handler(machine: FithMachine) -> None:
+        b = machine.pop()
+        a = machine.pop()
+        machine.push(_bool(fn(_is_true(a), _is_true(b))))
+    return handler
+
+
+def _logical_not(machine: FithMachine) -> None:
+    machine.push(_bool(not _is_true(machine.pop())))
+
+
+def _new_instance(machine: FithMachine) -> None:
+    atom = machine.pop()
+    if atom.tag is not Tag.ATOM or atom.value not in machine.registry:
+        raise FithError(f"new on non-class {atom!r}")
+    machine.push(machine.allocate(machine.registry.by_name(atom.value)))
+
+
+def _new_array(machine: FithMachine) -> None:
+    size = machine.pop_int()
+    if size < 0:
+        raise FithError("array size must be non-negative")
+    machine.push(machine.allocate(machine.array_class, size))
+
+
+def _array_at(machine: FithMachine) -> None:
+    index = machine.pop_int()
+    pointer = machine.pop()
+    obj = machine.object_of(pointer)
+    if not 0 <= index < len(obj.fields):
+        raise FithError(f"index {index} out of bounds")
+    machine.push(obj.fields[index])
+
+
+def _array_put(machine: FithMachine) -> None:
+    value = machine.pop()
+    index = machine.pop_int()
+    pointer = machine.pop()
+    obj = machine.object_of(pointer)
+    if not 0 <= index < len(obj.fields):
+        raise FithError(f"index {index} out of bounds")
+    obj.fields[index] = value
+
+
+def _array_size(machine: FithMachine) -> None:
+    pointer = machine.pop()
+    machine.push(Word.small_integer(len(machine.object_of(pointer).fields)))
+
+
+def _cell_fetch(machine: FithMachine) -> None:
+    pointer = machine.pop()
+    obj = machine.object_of(pointer)
+    if not obj.fields:
+        raise FithError("@ on empty object")
+    machine.push(obj.fields[0])
+
+
+def _cell_store(machine: FithMachine) -> None:
+    # Forth convention: ( value addr -- ), address on top.  Dispatch is
+    # still on the top of stack, so ! is installed on Object (any value
+    # class may sit beneath the pointer).
+    pointer = machine.pop()
+    value = machine.pop()
+    obj = machine.object_of(pointer)
+    if not obj.fields:
+        raise FithError("! on empty object")
+    obj.fields[0] = value

@@ -1,0 +1,18 @@
+"""The object model: classes, method dictionaries, heap and GC."""
+
+from repro.objects.gc import ContextRecycler, GCStats, MarkSweepCollector
+from repro.objects.heap import AllocationStats, ObjectHeap
+from repro.objects.model import (
+    ClassRegistry,
+    DefinedMethod,
+    LookupResult,
+    MethodDictionary,
+    ObjectClass,
+    PrimitiveMethod,
+)
+
+__all__ = [
+    "AllocationStats", "ClassRegistry", "ContextRecycler",
+    "DefinedMethod", "GCStats", "LookupResult", "MarkSweepCollector",
+    "MethodDictionary", "ObjectClass", "ObjectHeap", "PrimitiveMethod",
+]

@@ -1,0 +1,7 @@
+"""Smalltalk-subset front end for the COM (paper section 4)."""
+
+from repro.smalltalk.compiler import SmalltalkCompiler, compile_program
+from repro.smalltalk.parser import parse, parse_expression
+
+__all__ = ["SmalltalkCompiler", "compile_program", "parse",
+           "parse_expression"]

@@ -1,0 +1,265 @@
+"""Recursive-descent parser for the Smalltalk subset.
+
+Standard Smalltalk precedence: unary sends bind tightest, then binary
+sends (left-associative, no arithmetic precedence), then keyword sends.
+Program structure uses three declaration forms::
+
+    class Point extends Object fields: x y
+
+    Point >> setX: ax y: ay
+        x := ax. y := ay. ^self
+
+    main | p |
+        p := Point new.
+        ^p norm2
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.smalltalk.lexer import Token, tokenize
+from repro.smalltalk.nodes import (
+    Assign,
+    BlockNode,
+    ClassDecl,
+    ExprStmt,
+    Literal,
+    MainDecl,
+    MethodDecl,
+    Program,
+    Return,
+    Send,
+    VarRef,
+)
+
+_SPECIALS = {"true": True, "false": False, "nil": None}
+
+
+class Parser:
+    """One-token-lookahead parser over the token list."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tok
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._tok
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            token = self._tok
+            raise CompileError(
+                f"line {token.line}: expected {text or kind}, "
+                f"found {token.text!r}"
+            )
+        return self._advance()
+
+    # -- program structure ------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        classes: List[ClassDecl] = []
+        methods: List[MethodDecl] = []
+        main: Optional[MainDecl] = None
+        while not self._check("eof"):
+            if self._check("ident", "class"):
+                classes.append(self._parse_class())
+            elif self._check("ident", "main"):
+                if main is not None:
+                    raise CompileError("duplicate main")
+                main = self._parse_main()
+            elif self._check("ident"):
+                methods.append(self._parse_method())
+            else:
+                token = self._tok
+                raise CompileError(
+                    f"line {token.line}: expected a declaration, "
+                    f"found {token.text!r}"
+                )
+        return Program(classes, methods, main)
+
+    def _parse_class(self) -> ClassDecl:
+        self._expect("ident", "class")
+        name = self._expect("ident").text
+        superclass = None
+        if self._accept("ident", "extends"):
+            superclass = self._expect("ident").text
+        fields: List[str] = []
+        if self._accept("keyword", "fields:"):
+            while self._check("ident") and not self._at_declaration_boundary():
+                fields.append(self._advance().text)
+        return ClassDecl(name, superclass, fields)
+
+    def _parse_method(self) -> MethodDecl:
+        class_name = self._expect("ident").text
+        self._expect("arrow")
+        selector, params = self._parse_pattern()
+        temps = self._parse_temps()
+        body = self._parse_statements(terminators=("eof", "_decl"))
+        return MethodDecl(class_name, selector, params, temps, body)
+
+    def _parse_pattern(self):
+        if self._check("keyword"):
+            selector = ""
+            params: List[str] = []
+            while self._check("keyword"):
+                selector += self._advance().text
+                params.append(self._expect("ident").text)
+            return selector, params
+        if self._check("binary"):
+            selector = self._advance().text
+            params = [self._expect("ident").text]
+            return selector, params
+        token = self._expect("ident")
+        return token.text, []
+
+    def _parse_main(self) -> MainDecl:
+        self._expect("ident", "main")
+        temps = self._parse_temps()
+        body = self._parse_statements(terminators=("eof", "_decl"))
+        return MainDecl(temps, body)
+
+    def _parse_temps(self) -> List[str]:
+        temps: List[str] = []
+        if self._accept("bar"):
+            while self._check("ident"):
+                temps.append(self._advance().text)
+            self._expect("bar")
+        return temps
+
+    # -- statements ------------------------------------------------------------
+
+    def _at_declaration_boundary(self) -> bool:
+        """True when the next tokens start a new top-level declaration."""
+        token = self._tok
+        if token.kind != "ident":
+            return False
+        if token.text in ("class", "main"):
+            return True
+        nxt = self._tokens[self._pos + 1]
+        return nxt.kind == "arrow"
+
+    def _parse_statements(self, terminators) -> List:
+        statements: List = []
+        while True:
+            if self._check("eof") or self._check("rbracket"):
+                break
+            if "_decl" in terminators and self._at_declaration_boundary():
+                break
+            statements.append(self._parse_statement())
+            if not self._accept("period"):
+                break
+        return statements
+
+    def _parse_statement(self):
+        if self._accept("caret"):
+            return Return(self._parse_expression())
+        if self._check("ident") and \
+                self._tokens[self._pos + 1].kind == "assign":
+            name = self._advance().text
+            self._advance()   # :=
+            return Assign(name, self._parse_expression())
+        return ExprStmt(self._parse_expression())
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expression(self):
+        return self._parse_keyword_send()
+
+    def _parse_keyword_send(self):
+        receiver = self._parse_binary_send()
+        if not self._check("keyword"):
+            return receiver
+        selector = ""
+        args = []
+        while self._check("keyword"):
+            selector += self._advance().text
+            args.append(self._parse_binary_send())
+        return Send(receiver, selector, args)
+
+    def _parse_binary_send(self):
+        left = self._parse_unary_send()
+        while self._check("binary"):
+            selector = self._advance().text
+            right = self._parse_unary_send()
+            left = Send(left, selector, [right])
+        return left
+
+    def _parse_unary_send(self):
+        receiver = self._parse_primary()
+        while self._check("ident") and \
+                self._tok.text not in ("class", "main") and \
+                self._tokens[self._pos + 1].kind not in ("assign", "arrow"):
+            receiver = Send(receiver, self._advance().text, [])
+        return receiver
+
+    def _parse_primary(self):
+        token = self._tok
+        if token.kind == "int":
+            self._advance()
+            return Literal(int(token.text), "int")
+        if token.kind == "float":
+            self._advance()
+            return Literal(float(token.text), "float")
+        if token.kind == "atom":
+            self._advance()
+            return Literal(token.text[1:], "atom")
+        if token.kind == "ident":
+            self._advance()
+            if token.text in _SPECIALS:
+                return Literal(token.text, "special")
+            return VarRef(token.text)
+        if token.kind == "lparen":
+            self._advance()
+            expression = self._parse_expression()
+            self._expect("rparen")
+            return expression
+        if token.kind == "lbracket":
+            return self._parse_block()
+        raise CompileError(
+            f"line {token.line}: unexpected token {token.text!r} "
+            f"in expression"
+        )
+
+    def _parse_block(self) -> BlockNode:
+        self._expect("lbracket")
+        params: List[str] = []
+        while self._check("blockarg"):
+            params.append(self._advance().text[1:])
+        if params:
+            self._expect("bar")
+        temps = self._parse_temps()
+        body = self._parse_statements(terminators=())
+        self._expect("rbracket")
+        return BlockNode(params, temps, body)
+
+
+def parse(source: str) -> Program:
+    """Parse a whole program."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: str):
+    """Parse a single expression (testing convenience)."""
+    parser = Parser(source)
+    expression = parser._parse_expression()
+    parser._expect("eof")
+    return expression

@@ -1,0 +1,21 @@
+"""Trace records and the trace-driven cache simulator of section 5."""
+
+from repro.trace.cachesim import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_SIZES,
+    SweepResult,
+    ascii_plot,
+    simulate_icache,
+    simulate_itlb,
+    sweep_icache,
+    sweep_itlb,
+)
+from repro.trace.events import TraceEvent, addresses, dispatched_only, split_warmup
+from repro.trace.workloads import interleaved_trace, monomorphic_trace, paper_trace
+
+__all__ = [
+    "PAPER_ASSOCIATIVITIES", "PAPER_SIZES", "SweepResult", "TraceEvent",
+    "addresses", "ascii_plot", "dispatched_only", "interleaved_trace",
+    "monomorphic_trace", "paper_trace", "simulate_icache", "simulate_itlb",
+    "split_warmup", "sweep_icache", "sweep_itlb",
+]

@@ -1,0 +1,58 @@
+"""Trace events: the records the section-5 experiments are built on.
+
+"Traces of large Fith programs were produced by instrumenting the Fith
+interpreter [...] to record for each instruction interpreted: the
+address of the instruction, the opcode, and the type of object on the
+top of the stack."
+
+Both our machines emit this exact record: the Fith interpreter with the
+top-of-stack class, and the COM with the dispatch receiver's class.
+``dispatched`` distinguishes abstract (ITLB-translated) instructions
+from pure stack-manipulation/branch machine operations, so experiments
+can study either the full stream or the dispatched subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interpreted instruction."""
+
+    address: int
+    opcode: int
+    receiver_class: int
+    dispatched: bool = True
+
+    @property
+    def itlb_key(self) -> Tuple[int, Tuple[int, ...]]:
+        """The (opcode, classes) key this event presents to an ITLB."""
+        return (self.opcode, (self.receiver_class,))
+
+
+def split_warmup(
+    events: List[TraceEvent], warmup_fraction: float = 0.25
+) -> Tuple[List[TraceEvent], List[TraceEvent]]:
+    """Split a trace into (warm-up, measurement) parts.
+
+    Section 5: "A warmup trace was run before the measurement trace to
+    avoid biasing the results by the initial faulting in of data into
+    the caches."
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    cut = int(len(events) * warmup_fraction)
+    return events[:cut], events[cut:]
+
+
+def dispatched_only(events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+    """Only the events that went through instruction translation."""
+    return (event for event in events if event.dispatched)
+
+
+def addresses(events: Iterable[TraceEvent]) -> Iterator[int]:
+    """The instruction-address stream (for the instruction cache)."""
+    return (event.address for event in events)

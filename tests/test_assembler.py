@@ -1,0 +1,211 @@
+"""Tests for the COM assembler (repro.core.assembler)."""
+
+import pytest
+
+from repro.core.assembler import Assembler, load_program, parse_program
+from repro.core.constants import ConstantTable
+from repro.core.encoding import Instruction
+from repro.core.isa import Op, OpcodeTable
+from repro.core.machine import COMMachine
+from repro.core.operands import Mode, Operand, Space
+from repro.errors import AssemblerError
+
+
+@pytest.fixture
+def assembler():
+    return Assembler(OpcodeTable(), ConstantTable())
+
+
+def one(assembler, line):
+    instructions = assembler.assemble_lines([line])
+    assert len(instructions) == 1
+    return instructions[0]
+
+
+class TestOperandResolution:
+    def test_context_slots(self, assembler):
+        assert assembler.operand("c3") == Operand.current(3)
+        assert assembler.operand("n7") == Operand.next(7)
+
+    def test_literals_interned(self, assembler):
+        operand = assembler.operand("42")
+        assert operand.mode is Mode.CONSTANT
+        assert assembler.constants.get(operand.offset).value == 42
+
+    def test_negative_and_float_literals(self, assembler):
+        assert assembler.constants.get(
+            assembler.operand("-3").offset).value == -3
+        assert assembler.constants.get(
+            assembler.operand("2.5").offset).value == 2.5
+
+    def test_specials(self, assembler):
+        for text, value in (("true", "true"), ("false", "false"),
+                            ("nil", "nil"), ("#foo", "foo")):
+            operand = assembler.operand(text)
+            assert assembler.constants.get(operand.offset).value == value
+
+    def test_unknown_operand(self, assembler):
+        with pytest.raises(AssemblerError):
+            assembler.operand("wat")
+
+
+class TestStatementForms:
+    def test_move(self, assembler):
+        inst = one(assembler, "c2 = c3")
+        assert inst.opcode == int(Op.MOVE)
+        assert inst.operands[0] == Operand.current(2)
+        assert inst.operands[1] == Operand.current(3)
+
+    def test_binary(self, assembler):
+        inst = one(assembler, "c2 = c3 + c4")
+        assert inst.opcode == int(Op.ADD)
+
+    def test_user_selector_interned(self, assembler):
+        inst = one(assembler, "c2 = c3 frob: c4")
+        assert assembler.opcodes.selector_of(inst.opcode) == "frob:"
+
+    def test_unary(self, assembler):
+        assert one(assembler, "c2 = neg c3").opcode == int(Op.NEG)
+        assert one(assembler, "c2 = tag c3").opcode == int(Op.TAG)
+
+    def test_movea(self, assembler):
+        inst = one(assembler, "c2 = & c3")
+        assert inst.opcode == int(Op.MOVEA)
+
+    def test_at(self, assembler):
+        inst = one(assembler, "c2 = c3 [ c4 ]")
+        assert inst.opcode == int(Op.AT)
+        assert inst.operands[1] == Operand.current(3)
+
+    def test_atput(self, assembler):
+        inst = one(assembler, "c3 [ c4 ] = c2")
+        assert inst.opcode == int(Op.ATPUT)
+        assert inst.operands[0] == Operand.current(2)   # value
+
+    def test_as(self, assembler):
+        assert one(assembler, "c2 = c3 as 1").opcode == int(Op.AS)
+
+    def test_halt(self, assembler):
+        inst = one(assembler, "halt")
+        assert inst.opcode == int(Op.HALT)
+        assert inst.is_zero_operand
+
+    def test_ret_value(self, assembler):
+        inst = one(assembler, "ret c4")
+        assert inst.returns is True
+        assert inst.operands[0] == Operand.current(0)
+
+    def test_bare_ret(self, assembler):
+        inst = one(assembler, "ret")
+        assert inst.returns is True
+
+    def test_return_marker(self, assembler):
+        inst = one(assembler, "c0 = c2 ^")
+        assert inst.returns is True
+
+    def test_send(self, assembler):
+        inst = one(assembler, "send foo: 2")
+        assert inst.is_zero_operand
+        assert inst.nargs == 2
+
+    def test_send_too_many_args(self, assembler):
+        with pytest.raises(AssemblerError):
+            one(assembler, "send foo: 3")
+
+    def test_xfer(self, assembler):
+        assert one(assembler, "xfer c2").opcode == int(Op.XFER)
+
+    def test_comments_ignored(self, assembler):
+        assert assembler.assemble_lines(["; just a comment", "halt"])
+
+    def test_constant_destination_rejected(self, assembler):
+        with pytest.raises(AssemblerError):
+            one(assembler, "5 = c2")
+
+    def test_garbage_rejected(self, assembler):
+        with pytest.raises(AssemblerError):
+            one(assembler, "c2 c3 c4")
+
+
+class TestLabels:
+    def test_forward_jump_uses_fjmp(self, assembler):
+        instructions = assembler.assemble_lines([
+            "jt c2 end",
+            "c3 = 1",
+            "end:",
+            "halt",
+        ])
+        assert instructions[0].opcode == int(Op.FJMP)
+        disp = assembler.constants.get(instructions[0].operands[2].offset)
+        assert disp.value == 1
+
+    def test_backward_jump_uses_rjmp(self, assembler):
+        instructions = assembler.assemble_lines([
+            "top:",
+            "c3 = 1",
+            "jt c2 top",
+        ])
+        assert instructions[1].opcode == int(Op.RJMP)
+        disp = assembler.constants.get(instructions[1].operands[2].offset)
+        assert disp.value == 2
+
+    def test_jmp_unconditional(self, assembler):
+        instructions = assembler.assemble_lines([
+            "jmp end", "c2 = 1", "end:", "halt"])
+        cond = assembler.constants.get(instructions[0].operands[0].offset)
+        assert cond.value == "true"
+
+    def test_undefined_label(self, assembler):
+        with pytest.raises(AssemblerError):
+            assembler.assemble_lines(["jmp nowhere"])
+
+    def test_duplicate_label(self, assembler):
+        with pytest.raises(AssemblerError):
+            assembler.assemble_lines(["x:", "x:", "halt"])
+
+
+class TestProgramStructure:
+    def test_parse_sections(self):
+        parsed = parse_program("""
+        class Animal
+        class Dog < Animal
+        method Dog >> bark args=1 frame=8
+            ret 1
+        main
+            halt
+        """)
+        assert parsed.classes == [("Animal", None), ("Dog", "Animal")]
+        assert parsed.methods[0]["selector"] == "bark"
+        assert parsed.methods[0]["frame_words"] == 8
+        assert parsed.main_lines == ["halt"]
+
+    def test_statement_outside_section(self):
+        with pytest.raises(AssemblerError):
+            parse_program("c2 = 1")
+
+    def test_missing_main(self):
+        machine = COMMachine()
+        with pytest.raises(AssemblerError):
+            load_program(machine, "method Object >> f args=0\n    ret\n")
+
+    def test_load_program_installs_methods(self):
+        machine = COMMachine()
+        load_program(machine, """
+        method SmallInteger >> double args=1
+            c2 = c1 + c1
+            ret c2
+        main
+            halt
+        """)
+        cls = machine.registry.by_name("SmallInteger")
+        assert cls.methods.lookup("double") is not None
+
+    def test_frame_sizes_recorded(self):
+        machine = COMMachine()
+        load_program(machine, """
+        method Object >> f args=0 frame=12
+            ret
+        main
+            halt
+        """)
+        assert 12 in machine.frame_sizes.counts

@@ -1,0 +1,323 @@
+"""Tests for contexts, the context pool and the context cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import (
+    ARG0_SLOT,
+    ARG1_SLOT,
+    CONTEXT_WORDS,
+    ContextPool,
+    FrameSizeHistogram,
+    HEADER_WORDS,
+    RCP_SLOT,
+    RIP_SLOT,
+    operand_slot,
+)
+from repro.core.context_cache import ContextCache
+from repro.errors import FreeListExhausted, ReproError
+from repro.memory.fpa import address_format
+from repro.memory.mmu import MMU
+from repro.memory.tags import Word
+from repro.objects.heap import ObjectHeap
+from repro.objects.model import ClassRegistry
+
+
+class TestLayout:
+    def test_figure_8_slots(self):
+        assert RCP_SLOT == 0
+        assert RIP_SLOT == 1
+        assert ARG0_SLOT == 2
+        assert ARG1_SLOT == 3
+
+    def test_operand_slot_skips_header(self):
+        assert operand_slot(0) == ARG0_SLOT
+        assert operand_slot(1) == ARG1_SLOT
+        assert operand_slot(29) == 31
+
+    def test_context_is_32_words(self):
+        assert CONTEXT_WORDS == 32
+        assert HEADER_WORDS + 30 == CONTEXT_WORDS
+
+
+@pytest.fixture
+def pool():
+    mmu = MMU(address_format(36), arena_words=1 << 18)
+    heap = ObjectHeap(mmu, team=0)
+    registry = ClassRegistry()
+    context_class = registry.define_class("Context",
+                                          instance_size=CONTEXT_WORDS)
+    return ContextPool(heap, context_class, batch=4)
+
+
+class TestContextPool:
+    def test_allocate_refills_in_batches(self, pool):
+        pool.allocate()
+        assert pool.stats.refills == 1
+        assert pool.free_count == 3
+
+    def test_free_and_reuse(self, pool):
+        address = pool.allocate()
+        pool.free(address)
+        assert pool.allocate() == address
+
+    def test_high_water(self, pool):
+        addresses = [pool.allocate() for _ in range(6)]
+        assert pool.stats.high_water == 6
+        for address in addresses:
+            pool.free(address)
+        assert pool.live_count == 0
+        assert pool.stats.freed == 6
+
+    def test_limit(self):
+        mmu = MMU(address_format(36), arena_words=1 << 18)
+        heap = ObjectHeap(mmu, team=0)
+        registry = ClassRegistry()
+        cls = registry.define_class("Context", instance_size=CONTEXT_WORDS)
+        pool = ContextPool(heap, cls, batch=2, limit=4)
+        for _ in range(4):
+            pool.allocate()
+        with pytest.raises(FreeListExhausted):
+            pool.allocate()
+
+    def test_contexts_counted_by_heap(self, pool):
+        pool.allocate()
+        assert pool.heap.stats.allocations["context"] == 4  # one batch
+
+
+class TestFrameSizeHistogram:
+    def test_fraction_fitting(self):
+        histogram = FrameSizeHistogram()
+        for size in (8, 10, 12, 40):
+            histogram.record(size)
+        assert histogram.fraction_fitting(32) == 0.75
+
+    def test_percentile(self):
+        histogram = FrameSizeHistogram()
+        for size in (4, 8, 16, 32):
+            histogram.record(size)
+        assert histogram.percentile(0.5) == 8
+        assert histogram.percentile(1.0) == 32
+
+    def test_empty(self):
+        histogram = FrameSizeHistogram()
+        assert histogram.fraction_fitting() == 0.0
+        assert histogram.percentile(0.5) == 0
+
+
+class _FakeMemory:
+    """Backing store for context cache tests."""
+
+    def __init__(self):
+        self.blocks = {}
+
+    def writer(self, base, words):
+        self.blocks[base] = list(words)
+
+    def loader(self, base):
+        return list(self.blocks.get(base,
+                                    [Word.uninitialized()] * CONTEXT_WORDS))
+
+
+@pytest.fixture
+def cache_memory():
+    memory = _FakeMemory()
+    cache = ContextCache(memory.writer, memory.loader, num_blocks=8,
+                         reserve=2)
+    return cache, memory
+
+
+class TestContextCacheAllocation:
+    def test_allocate_next_clears(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)
+        assert cache.next is not None
+        for i in range(CONTEXT_WORDS):
+            assert cache.read_next(i).is_uninitialized
+        assert cache.stats.block_clears == 1
+
+    def test_double_allocate_rejected(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)
+        with pytest.raises(ReproError):
+            cache.allocate_next(32)
+
+    def test_fast_path_read_write(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)
+        cache.write_next(5, Word.small_integer(9))
+        assert cache.read_next(5).value == 9
+        assert cache.stats.fast_writes == 1
+        assert cache.stats.fast_reads == 1
+
+    def test_no_current_raises(self, cache_memory):
+        cache, _memory = cache_memory
+        with pytest.raises(ReproError):
+            cache.read_current(0)
+
+
+class TestCallReturnTransitions:
+    def test_call_moves_next_to_current(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)
+        block = cache.next
+        cache.on_call()
+        assert cache.current == block
+        assert cache.next is None
+
+    def test_return_reuses_current_as_next(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)       # caller context at base 0
+        cache.on_call()
+        cache.allocate_next(32)      # callee's next
+        caller_block = cache.current
+        cache.on_call()              # now running in base-32 context
+        returning_block = cache.current
+        hit = cache.on_return(0, reuse_current_as_next=True)
+        assert hit is True
+        assert cache.current == caller_block
+        assert cache.next == returning_block
+
+    def test_return_without_reuse(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(0)
+        cache.on_call()
+        cache.allocate_next(32)
+        cache.on_call()
+        cache.on_return(0, reuse_current_as_next=False)
+        assert cache.next is None
+        assert cache.is_resident(32)   # captured context stays cached
+
+    def test_return_faults_evicted_caller(self, cache_memory):
+        cache, memory = cache_memory
+        cache.allocate_next(0)
+        cache.on_call()
+        cache.write_current(4, Word.small_integer(1))
+        # Fill the cache far past capacity so base 0 gets retired.
+        for base in range(32, 32 * 20, 32):
+            if cache.next is None:
+                cache.allocate_next(base)
+                cache.on_call()
+        assert not cache.is_resident(0)
+        assert cache.stats.copybacks > 0
+        hit = cache.on_return(0, reuse_current_as_next=True)
+        assert hit is False
+        assert cache.stats.faults == 1
+        assert cache.read_current(4).value == 1   # restored image
+
+
+class TestCopyBack:
+    def test_reserve_maintained(self, cache_memory):
+        cache, _memory = cache_memory
+        for base in range(0, 32 * 30, 32):
+            if cache.next is None:
+                cache.allocate_next(base)
+                cache.on_call()
+            assert cache.free_count >= 0
+        # After every allocation the engine keeps the reserve.
+        assert cache.free_count >= cache.reserve - 1
+
+    def test_dirty_blocks_written_back(self, cache_memory):
+        cache, memory = cache_memory
+        cache.allocate_next(0)
+        cache.write_next(3, Word.small_integer(7))
+        cache.on_call()
+        for base in range(32, 32 * 20, 32):
+            cache.allocate_next(base)
+            cache.on_call()
+        assert 0 in memory.blocks
+        assert memory.blocks[0][3].value == 7
+
+    def test_release_frees_without_writeback(self, cache_memory):
+        cache, memory = cache_memory
+        cache.allocate_next(0)
+        cache.write_next(0, Word.small_integer(1))
+        cache.release(0)
+        assert 0 not in memory.blocks
+        assert cache.next is None
+        assert not cache.is_resident(0)
+
+    def test_flush_all(self, cache_memory):
+        cache, memory = cache_memory
+        cache.allocate_next(0)
+        cache.write_next(1, Word.small_integer(5))
+        cache.flush_all()
+        assert memory.blocks[0][1].value == 5
+        assert cache.is_resident(0)    # flush writes back, keeps resident
+
+
+class TestAbsoluteAccess:
+    def test_directory_match(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(64)
+        cache.write_next(2, Word.small_integer(3))
+        assert cache.read_absolute(64, 2).value == 3
+        assert cache.stats.directory_hits == 1
+
+    def test_directory_miss(self, cache_memory):
+        cache, _memory = cache_memory
+        assert cache.read_absolute(999, 0) is None
+        assert cache.stats.directory_misses == 1
+
+    def test_write_absolute(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(64)
+        assert cache.write_absolute(64, 7, Word.small_integer(2)) is True
+        assert cache.read_next(7).value == 2
+        assert cache.write_absolute(128, 0, Word.small_integer(2)) is False
+
+    def test_rebind_next(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(64)
+        cache.write_next(4, Word.small_integer(9))
+        cache.rebind_next(64, 96)
+        assert cache.is_resident(96)
+        assert not cache.is_resident(64)
+        assert cache.read_absolute(96, 4).value == 9
+
+    def test_image_of(self, cache_memory):
+        cache, _memory = cache_memory
+        cache.allocate_next(64)
+        image = cache.image_of(64)
+        assert len(image) == CONTEXT_WORDS
+        assert cache.image_of(128) is None
+
+
+class TestGeometry:
+    def test_minimum_blocks(self):
+        memory = _FakeMemory()
+        with pytest.raises(ReproError):
+            ContextCache(memory.writer, memory.loader, num_blocks=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=120))
+    def test_never_loses_current_or_next(self, calls):
+        """Random call/return sequences keep the two vectors valid.
+
+        Mirrors the machine's protocol exactly: a call consumes the
+        next context and allocates a fresh one; a return releases the
+        unused next and reuses the returning context as next.
+        """
+        memory = _FakeMemory()
+        cache = ContextCache(memory.writer, memory.loader, num_blocks=6)
+        base = 0
+        cache.allocate_next(base)          # main's context
+        cache.on_call()
+        stack = [base]
+        base += 32
+        cache.allocate_next(base)          # main's next
+        next_base = base
+        for deeper in calls:
+            if deeper or len(stack) == 1:
+                cache.on_call()
+                stack.append(next_base)
+                base += 32
+                cache.allocate_next(base)
+                next_base = base
+            else:
+                returning = stack.pop()
+                cache.release(next_base)   # the unused NCP
+                cache.on_return(stack[-1], reuse_current_as_next=True)
+                next_base = returning
+            assert cache.current is not None
+            assert cache.next is not None

@@ -1,0 +1,161 @@
+"""Tests for the experiment harness: every paper claim must reproduce.
+
+The trace-driven experiments (FIG-10/FIG-11) run on a reduced workload
+here to keep the suite fast; the full-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    addr_compare,
+    call_cost,
+    context_cache,
+    context_stats,
+    fig10,
+    fig11,
+    stack_vs_3addr,
+)
+from repro.experiments.common import ClaimCheck, ExperimentResult
+from repro.trace.workloads import paper_trace
+
+
+@pytest.fixture(scope="module")
+def events():
+    """A shortened measurement trace that keeps the full code footprint.
+
+    The call-site count (rounds) stays at the calibrated default so the
+    figure-11 footprint claims still hold; only the per-phase repetition
+    is reduced to keep the suite fast.
+    """
+    return paper_trace(rounds=450, phase_length=280)
+
+
+@pytest.fixture(scope="module")
+def fig10_result(events):
+    return fig10.run(events=events, plot=False)
+
+
+@pytest.fixture(scope="module")
+def fig11_result(events):
+    return fig11.run(events=events, plot=False)
+
+
+class TestCommon:
+    def test_claim_rows(self):
+        result = ExperimentResult("X", "desc")
+        result.check("a claim", "1", "1", True)
+        result.check("another", "2", "3", False)
+        assert not result.all_hold
+        report = result.report()
+        assert "REPRODUCED" in report and "DIVERGES" in report
+
+
+class TestFig10(object):
+    def test_all_claims_hold(self, fig10_result):
+        assert fig10_result.all_hold, fig10_result.report()
+
+    def test_512_2way_reaches_99(self, fig10_result):
+        assert fig10_result.data["ratio_512_2w"] >= 0.99
+
+    def test_monotone_in_size_at_2way(self, fig10_result):
+        sweep = fig10_result.data["sweep"]
+        ratios = [sweep.ratio(2, size) for size in sweep.sizes]
+        # Allow tiny non-monotonic wiggles from set-conflict noise.
+        for earlier, later in zip(ratios, ratios[1:]):
+            assert later >= earlier - 0.02
+
+    def test_trace_is_paper_scale(self, fig10_result):
+        # "the longest of which was about 20,000 instructions" -- ours
+        # must be at least that long.
+        assert fig10_result.data["trace_length"] >= 20_000
+
+    def test_table_has_all_rows(self, fig10_result):
+        assert fig10_result.table.count("\n") >= 10
+
+
+class TestFig11(object):
+    def test_all_claims_hold(self, fig11_result):
+        assert fig11_result.all_hold, fig11_result.report()
+
+    def test_icache_needs_more_than_itlb(self, fig10_result, fig11_result):
+        itlb_99 = fig10_result.data["sweep"].smallest_size_reaching(0.99, 2)
+        icache_99 = fig11_result.data["sweep"].smallest_size_reaching(
+            0.99, 2)
+        assert itlb_99 is not None
+        assert icache_99 is None or icache_99 > itlb_99
+
+
+class TestCallCost:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return call_cost.run(calls=60)
+
+    def test_all_claims_hold(self, result):
+        assert result.all_hold, result.report()
+
+    def test_exact_paper_numbers(self, result):
+        assert result.data["zero_call_total"] == pytest.approx(4.0, abs=0.5)
+        assert result.data["return_total"] == pytest.approx(2.0, abs=0.01)
+        assert result.data["per_operand"] == pytest.approx(1.0, abs=0.01)
+        assert result.data["base_cpi"] == pytest.approx(2.0, abs=0.1)
+
+
+class TestContextStats:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return context_stats.run()
+
+    def test_all_claims_hold(self, result):
+        assert result.all_hold, result.report()
+
+    def test_regime_matches_paper(self, result):
+        assert 0.75 <= result.data["context_alloc_fraction"] <= 1.0
+        assert result.data["context_ref_fraction"] >= 0.9
+        assert 0.75 <= result.data["lifo_fraction"] < 1.0
+        assert result.data["frames_fitting"] >= 0.9
+
+
+class TestContextCache:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return context_cache.run(shallow_depth=20, deep_depth=120)
+
+    def test_all_claims_hold(self, result):
+        assert result.all_hold, result.report()
+
+    def test_shallow_never_faults(self, result):
+        assert result.data["shallow"]["faults"] == 0
+
+    def test_deep_engages_copyback(self, result):
+        assert result.data["deep"]["copybacks"] > 0
+
+
+class TestAddrCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return addr_compare.run()
+
+    def test_all_claims_hold(self, result):
+        assert result.all_hold, result.report()
+
+    def test_worked_example_in_table(self, result):
+        assert "262,144" in result.table
+
+
+class TestStackVs3Addr:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return stack_vs_3addr.run()
+
+    def test_all_claims_hold(self, result):
+        assert result.all_hold, result.report()
+
+    def test_ratio_near_two(self, result):
+        assert 1.4 <= result.data["mean_ratio"] <= 2.6
+
+    def test_every_program_above_one(self, result):
+        assert all(ratio > 1.0 for ratio in result.data["ratios"].values())
+
+    def test_stack_code_is_smaller(self, result):
+        # The stack machine's stated advantage: small code size (bytes).
+        assert result.data["mean_static_ratio"] < 1.0

@@ -1,0 +1,272 @@
+"""Tests for the Fith language system (repro.fith, section 5)."""
+
+import pytest
+
+from repro.errors import DoesNotUnderstandTrap, FithError
+from repro.fith.code import FithOp, MACHINE_OP_SELECTORS
+from repro.fith.interp import FithMachine
+from repro.fith.programs import (
+    CORPUS,
+    combined_trace,
+    polymorphic_workload,
+    trace_for,
+)
+
+
+def run_fith(source: str, max_steps: int = 2_000_000) -> FithMachine:
+    machine = FithMachine(trace=True)
+    machine.run_source(source, max_steps=max_steps)
+    return machine
+
+
+def outputs(machine: FithMachine):
+    return [word.value for word in machine.output]
+
+
+class TestStackOps:
+    def test_push_and_print(self):
+        assert outputs(run_fith("1 2 3 . . .")) == [3, 2, 1]
+
+    def test_dup_drop_swap_over_rot(self):
+        assert outputs(run_fith("5 dup + .")) == [10]
+        assert outputs(run_fith("1 2 drop .")) == [1]
+        assert outputs(run_fith("1 2 swap . .")) == [1, 2]
+        assert outputs(run_fith("1 2 over . . .")) == [1, 2, 1]
+        assert outputs(run_fith("1 2 3 rot . . .")) == [1, 3, 2]
+
+    def test_underflow(self):
+        with pytest.raises(FithError):
+            run_fith("drop")
+
+    def test_literals(self):
+        machine = run_fith("1.5 . #foo . true . nil .")
+        assert outputs(machine) == [1.5, "foo", "true", "nil"]
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert outputs(run_fith("7 3 + . 7 3 - . 7 3 * . 7 3 / . 7 3 mod .")) \
+            == [10, 4, 21, 2, 1]
+
+    def test_float_and_mixed(self):
+        machine = run_fith("1.5 2.5 + . 2 1.5 * .")
+        assert outputs(machine) == [4.0, 3.0]
+
+    def test_comparisons(self):
+        machine = run_fith("1 2 < . 2 1 < . 3 3 <= . 2 2 = . 2 3 <> .")
+        assert outputs(machine) == ["true", "false", "true", "true", "true"]
+
+    def test_min_max_abs_neg(self):
+        assert outputs(run_fith("3 5 min . 3 5 max . 0 7 - abs . 4 neg .")) \
+            == [3, 5, 7, -4]
+
+    def test_division_by_zero(self):
+        with pytest.raises(FithError):
+            run_fith("1 0 /")
+
+    def test_booleans(self):
+        machine = run_fith("true false and . true false or . true not .")
+        assert outputs(machine) == ["false", "true", "false"]
+
+
+class TestControlFlow:
+    def test_if_else_then(self):
+        assert outputs(run_fith(": f 0 > if 1 else 2 then ; 5 f . 0 5 - f .")) \
+            == [1, 2]
+
+    def test_if_without_else(self):
+        assert outputs(run_fith(": f dup 0 > if drop 99 then ; 5 f .")) == [99]
+
+    def test_begin_until(self):
+        machine = run_fith("""
+        variable n
+        0 n !
+        : count begin n @ 1 + dup n ! 5 >= until ;
+        count n @ .
+        """)
+        assert outputs(machine) == [5]
+
+    def test_begin_while_repeat(self):
+        machine = run_fith("""
+        variable total
+        0 total !
+        variable k
+        0 k !
+        : sum begin k @ 10 < while total @ k @ + total ! k @ 1 + k ! repeat ;
+        sum total @ .
+        """)
+        assert outputs(machine) == [45]
+
+    def test_do_loop_with_index(self):
+        machine = run_fith("""
+        variable acc
+        0 acc !
+        5 0 do acc @ i + acc ! loop
+        acc @ .
+        """)
+        assert outputs(machine) == [10]
+
+    def test_nested_do_loops_j(self):
+        machine = run_fith("""
+        variable acc
+        0 acc !
+        3 0 do 3 0 do acc @ j 10 * i + + acc ! loop loop
+        acc @ .
+        """)
+        # sum over outer j, inner i of (10j + i) = 90 + 9 = 99
+        assert outputs(machine) == [99]
+
+    def test_unbalanced_control(self):
+        with pytest.raises(FithError):
+            FithMachine().load(": f if ;")
+        with pytest.raises(FithError):
+            FithMachine().load("begin 1")
+
+    def test_i_outside_loop(self):
+        with pytest.raises(FithError):
+            run_fith("i")
+
+
+class TestDefinitionsAndDispatch:
+    def test_colon_definition(self):
+        assert outputs(run_fith(": square dup * ; 9 square .")) == [81]
+
+    def test_class_specific_definition(self):
+        machine = run_fith("""
+        :: SmallInteger describe drop 1 ;
+        :: Float describe drop 2 ;
+        5 describe . 5.0 describe .
+        """)
+        assert outputs(machine) == [1, 2]
+
+    def test_recursion_is_late_bound(self):
+        assert outputs(run_fith(
+            ":: SmallInteger fact dup 2 < if drop 1 else dup 1 - fact * "
+            "then ; 5 fact .")) == [120]
+
+    def test_redefinition_wins(self):
+        machine = run_fith(": f 1 ; : g f ; : f 2 ; 0 g .")
+        # g sends f; the send is late bound, so the new f answers 2.
+        assert outputs(machine) == [2]
+
+    def test_unknown_word_is_dnu(self):
+        with pytest.raises(DoesNotUnderstandTrap):
+            run_fith("1 zorble")
+
+    def test_definition_without_semicolon(self):
+        with pytest.raises(FithError):
+            FithMachine().load(": f 1")
+
+    def test_on_unknown_class(self):
+        with pytest.raises(FithError):
+            FithMachine().load(":: Zorp f 1 ;")
+
+
+class TestObjectsAndVariables:
+    def test_class_and_instances(self):
+        machine = run_fith("""
+        class Pair 2
+        #Pair new dup 0 11 put dup 1 31 put
+        dup 0 at swap 1 at + .
+        """)
+        assert outputs(machine) == [42]
+
+    def test_arrays(self):
+        machine = run_fith("""
+        variable arr
+        4 array arr !
+        4 0 do arr @ i i i * put loop
+        arr @ 3 at .
+        arr @ size .
+        """)
+        assert outputs(machine) == [9, 4]
+
+    def test_variables_are_cells(self):
+        machine = run_fith("variable x 42 x ! x @ .")
+        assert outputs(machine) == [42]
+
+    def test_index_bounds(self):
+        with pytest.raises(FithError):
+            run_fith("1 array dup 5 at")
+
+
+class TestTracing:
+    def test_trace_fields(self):
+        machine = run_fith("1 2 + .")
+        events = machine.trace
+        assert len(events) == 5   # push, push, send +, send ., halt
+        assert events[0].dispatched is False          # push
+        assert events[2].dispatched is True           # +
+        add = events[2]
+        assert machine.opcodes.selector_of(add.opcode) == "+"
+        # TOS at dispatch of + was the 2 (a SmallInteger).
+        assert add.receiver_class == \
+            machine.registry.by_name("SmallInteger").class_tag
+
+    def test_addresses_disjoint_across_words(self):
+        machine = run_fith(": f 1 ; : g 2 ; 0 f drop 0 g drop")
+        addresses = {event.address for event in machine.trace}
+        assert len(addresses) > 4
+
+    def test_trace_disabled_by_default(self):
+        machine = FithMachine()
+        machine.run_source("1 2 + drop")
+        assert machine.trace is None
+
+    def test_machine_ops_have_opcodes(self):
+        machine = run_fith("1 drop")
+        for event in machine.trace:
+            assert event.opcode is not None
+
+    def test_empty_stack_receiver_class(self):
+        machine = run_fith(": f 1 drop ; f")
+        first_send = next(e for e in machine.trace if e.dispatched)
+        assert first_send.receiver_class == -1
+
+
+class TestCorpus:
+    EXPECTED = {
+        "hanoi": [1023],
+        "sieve": [35],               # primes below 150
+        "fib": [377],                # fib(14)
+        "collatz": [701],
+        "matrix": [8.0],
+    }
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_runs_and_traces(self, name):
+        events = trace_for(name, scale=1)
+        assert len(events) > 1000
+        assert any(event.dispatched for event in events)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_golden_outputs(self, name):
+        machine = FithMachine()
+        machine.run_source(CORPUS[name](1), max_steps=10_000_000)
+        assert [w.value for w in machine.output] == self.EXPECTED[name]
+
+    def test_sort_is_sorted(self):
+        machine = FithMachine()
+        machine.run_source(CORPUS["sort"](1), max_steps=10_000_000)
+        verdict = machine.output[0]
+        assert verdict.value == "true"
+
+    def test_combined_trace_rebases_addresses(self):
+        events = combined_trace(scale=1, names=["fib", "collatz"])
+        fib_only = trace_for("fib", 1)
+        assert len(events) > len(fib_only)
+        # Addresses from the two programs do not collide.
+        assert len({e.address for e in events}) >= \
+            len({e.address for e in fib_only})
+
+    def test_polymorphic_workload_deterministic(self):
+        assert polymorphic_workload(seed=5) == polymorphic_workload(seed=5)
+        assert polymorphic_workload(seed=5) != polymorphic_workload(seed=6)
+
+    def test_polymorphic_workload_runs(self):
+        machine = FithMachine(trace=True)
+        machine.run_source(polymorphic_workload(classes=4, selectors=6,
+                                                rounds=50),
+                           max_steps=2_000_000)
+        keys = {e.itlb_key for e in machine.trace if e.dispatched}
+        assert len(keys) > 10

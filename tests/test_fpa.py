@@ -1,0 +1,183 @@
+"""Tests for floating point addresses (repro.memory.fpa, section 2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAddress
+from repro.memory.fpa import (
+    FORMAT_16,
+    FORMAT_36,
+    FPAddress,
+    address_format,
+    floating_capacity,
+    multics_style_capacity,
+)
+
+
+class TestAddressFormat:
+    def test_16_bit_split(self):
+        # The paper's worked example format: e=4, m=12.
+        assert FORMAT_16.exponent_bits == 4
+        assert FORMAT_16.mantissa_bits == 12
+
+    def test_36_bit_split(self):
+        # "a 36 bit floating point address, consisting of a 5 bit
+        # exponent and 31 bit mantissa".
+        assert FORMAT_36.exponent_bits == 5
+        assert FORMAT_36.mantissa_bits == 31
+
+    def test_interned(self):
+        assert address_format(16) is address_format(16)
+
+    def test_tiny_format_rejected(self):
+        with pytest.raises(InvalidAddress):
+            address_format(2)
+
+    @given(st.integers(min_value=4, max_value=64))
+    def test_split_consumes_all_bits(self, bits):
+        fmt = address_format(bits)
+        assert fmt.exponent_bits + fmt.mantissa_bits == bits
+        assert fmt.exponent_bits >= 1
+        # The exponent field can express every legal exponent.
+        assert fmt.max_exponent <= (1 << fmt.exponent_bits) - 1
+
+    def test_max_segment_words(self):
+        assert FORMAT_36.max_segment_words == 1 << 31
+
+    def test_total_segment_names(self):
+        # sum over E of 2^(m-E) = 2^(m+1) - 1.
+        assert FORMAT_16.total_segment_names() == (1 << 13) - 1
+        assert FORMAT_36.total_segment_names() == (1 << 32) - 1
+
+
+class TestWorkedExample:
+    """Section 2.2: 'the 16-bit floating point address 0x8345 has an
+    exponent of 8.  Thus the offset field is the byte 0x45 and the
+    segment number is 0x83.'"""
+
+    def test_decode(self):
+        address = FORMAT_16.from_packed(0x8345)
+        assert address.exponent == 8
+        assert address.offset == 0x45
+        assert address.segment_field == 0x3
+        assert address.packed_segment_name == 0x83
+
+    def test_reencode(self):
+        address = FORMAT_16.make(8, 0x3, 0x45)
+        assert address.packed == 0x8345
+
+    def test_span(self):
+        assert FORMAT_16.from_packed(0x8345).span == 256
+
+
+class TestPackUnpack:
+    @given(st.data())
+    def test_roundtrip(self, data):
+        fmt = address_format(data.draw(st.sampled_from([16, 24, 36])))
+        exponent = data.draw(st.integers(0, fmt.max_exponent))
+        mantissa = data.draw(st.integers(0, (1 << fmt.mantissa_bits) - 1))
+        packed = fmt.pack(exponent, mantissa)
+        assert fmt.unpack(packed) == (exponent, mantissa)
+
+    @given(st.data())
+    def test_fields_roundtrip(self, data):
+        fmt = address_format(36)
+        exponent = data.draw(st.integers(0, fmt.max_exponent))
+        seg_bits = fmt.mantissa_bits - exponent
+        segment = data.draw(st.integers(0, (1 << seg_bits) - 1))
+        offset = data.draw(st.integers(0, (1 << exponent) - 1))
+        address = fmt.make(exponent, segment, offset)
+        assert address.segment_field == segment
+        assert address.offset == offset
+        again = fmt.from_packed(address.packed)
+        assert again == address
+
+    def test_exponent_out_of_range(self):
+        with pytest.raises(InvalidAddress):
+            FORMAT_16.pack(13, 0)
+
+    def test_mantissa_out_of_range(self):
+        with pytest.raises(InvalidAddress):
+            FORMAT_16.pack(0, 1 << 12)
+
+    def test_offset_exceeding_span(self):
+        with pytest.raises(InvalidAddress):
+            FORMAT_16.make(4, 0, 16)
+
+
+class TestExponentForSize:
+    def test_small_sizes(self):
+        assert FORMAT_36.exponent_for_size(0) == 0
+        assert FORMAT_36.exponent_for_size(1) == 0
+        assert FORMAT_36.exponent_for_size(2) == 1
+        assert FORMAT_36.exponent_for_size(3) == 2
+        assert FORMAT_36.exponent_for_size(32) == 5
+        assert FORMAT_36.exponent_for_size(33) == 6
+
+    def test_largest(self):
+        assert FORMAT_36.exponent_for_size(1 << 31) == 31
+
+    def test_too_large(self):
+        with pytest.raises(InvalidAddress):
+            FORMAT_36.exponent_for_size((1 << 31) + 1)
+
+    @given(st.integers(min_value=1, max_value=1 << 31))
+    def test_covers_size(self, size):
+        exponent = FORMAT_36.exponent_for_size(size)
+        assert (1 << exponent) >= size
+        assert exponent == 0 or (1 << (exponent - 1)) < size
+
+
+class TestAddressArithmetic:
+    def test_with_offset(self):
+        base = FORMAT_16.make(8, 0x3, 0)
+        moved = base.with_offset(0x45)
+        assert moved.packed == 0x8345
+        assert moved.segment_name == base.segment_name
+
+    def test_step(self):
+        address = FORMAT_16.make(8, 0x3, 0x10)
+        assert address.step(5).offset == 0x15
+        assert address.step(-5).offset == 0x0B
+
+    def test_step_out_of_span(self):
+        address = FORMAT_16.make(4, 0, 15)
+        with pytest.raises(InvalidAddress):
+            address.step(1)
+        with pytest.raises(InvalidAddress):
+            address.step(-16)
+
+    def test_base(self):
+        assert FORMAT_16.from_packed(0x8345).base().offset == 0
+
+    @given(st.integers(0, 0xFF), st.integers(0, 0xFF))
+    def test_step_commutes_with_offset(self, start, other):
+        address = FORMAT_16.make(8, 0x3, start)
+        assert address.with_offset(other) == \
+            FORMAT_16.make(8, 0x3, other)
+
+
+class TestCapacityComparison:
+    """The MULTICS comparison of section 2.2."""
+
+    def test_multics_36(self):
+        segments, words = multics_style_capacity(36)
+        assert segments == 1 << 18   # 256K segments
+        assert words == 1 << 18      # 256K words each
+
+    def test_floating_36(self):
+        names, words = floating_capacity(36)
+        assert names == (1 << 32) - 1     # ~4 billion names
+        assert words == 1 << 31           # 2 billion word segments
+
+    def test_floating_dominates_both_limits(self):
+        multics_segments, multics_words = multics_style_capacity(36)
+        floating_names, floating_words = floating_capacity(36)
+        assert floating_names > multics_segments
+        assert floating_words > multics_words
+
+    def test_segment_names_per_exponent(self):
+        # One-word segments get the most names; the largest size class
+        # gets exactly one name.
+        assert FORMAT_36.segment_names_for_exponent(0) == 1 << 31
+        assert FORMAT_36.segment_names_for_exponent(31) == 1

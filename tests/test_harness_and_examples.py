@@ -1,0 +1,54 @@
+"""Smoke tests: the run-everything harness and the example scripts.
+
+These guarantee the documented entry points (`python -m
+repro.experiments.harness`, `python examples/<script>.py`) keep
+working; detailed claim checks live in test_experiments.py.
+"""
+
+import io
+import pathlib
+import runpy
+
+import pytest
+
+from repro.experiments.harness import run_all
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.slow
+class TestHarness:
+    def test_quick_run_reproduces_everything(self):
+        stream = io.StringIO()
+        results = run_all(quick=True, stream=stream)
+        assert len(results) == 7
+        failed = [claim.claim
+                  for result in results
+                  for claim in result.claims if not claim.holds]
+        assert not failed, failed
+        output = stream.getvalue()
+        assert "SUMMARY" in output
+        assert "DIVERGES" not in output
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script.name} printed nothing"
+
+    def test_quickstart_prints_factorial(self, capsys):
+        runpy.run_path(str(next(p for p in EXAMPLES
+                                if p.stem == "quickstart")),
+                       run_name="__main__")
+        assert "3628800" in capsys.readouterr().out
+
+    def test_coroutine_prints_42(self, capsys):
+        runpy.run_path(str(next(p for p in EXAMPLES
+                                if p.stem == "coroutines_xfer")),
+                       run_name="__main__")
+        assert "42" in capsys.readouterr().out

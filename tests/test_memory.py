@@ -1,0 +1,287 @@
+"""Tests for absolute memory, segments, the ATLB and the hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    BoundsTrap,
+    FreeListExhausted,
+    InvalidAddress,
+    SegmentFault,
+)
+from repro.memory.absolute import AbsoluteMemory, BuddyAllocator
+from repro.memory.atlb import ATLB
+from repro.memory.fpa import address_format
+from repro.memory.physical import DeviceSpec, MemoryHierarchy, default_hierarchy
+from repro.memory.segments import SegmentDescriptor, SegmentTable
+from repro.memory.tags import Word
+
+
+class TestBuddyAllocator:
+    def test_alignment_invariant(self):
+        # Every 2^k block must sit on a multiple of 2^k (the paper's
+        # "segments are aligned on multiples of their sizes").
+        allocator = BuddyAllocator(1 << 12)
+        for size in (1, 2, 3, 5, 32, 100, 512):
+            base = allocator.allocate(size)
+            block = allocator.block_size_at(base)
+            assert block >= size
+            assert base % block == 0
+
+    def test_free_and_reuse(self):
+        allocator = BuddyAllocator(64)
+        base = allocator.allocate(32)
+        allocator.free(base)
+        again = allocator.allocate(32)
+        assert again == base
+
+    def test_coalescing(self):
+        allocator = BuddyAllocator(64)
+        a = allocator.allocate(32)
+        b = allocator.allocate(32)
+        allocator.free(a)
+        allocator.free(b)
+        # After coalescing the full arena is one block again.
+        assert allocator.allocate(64) == 0
+
+    def test_exhaustion(self):
+        allocator = BuddyAllocator(32)
+        allocator.allocate(32)
+        with pytest.raises(FreeListExhausted):
+            allocator.allocate(1)
+
+    def test_oversized_request(self):
+        with pytest.raises(FreeListExhausted):
+            BuddyAllocator(32).allocate(64)
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(32)
+        base = allocator.allocate(4)
+        allocator.free(base)
+        with pytest.raises(InvalidAddress):
+            allocator.free(base)
+
+    def test_non_power_of_two_arena(self):
+        with pytest.raises(InvalidAddress):
+            BuddyAllocator(100)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=40))
+    def test_no_overlap(self, sizes):
+        allocator = BuddyAllocator(1 << 12)
+        spans = []
+        for size in sizes:
+            try:
+                base = allocator.allocate(size)
+            except FreeListExhausted:
+                break
+            block = allocator.block_size_at(base)
+            for other_base, other_end in spans:
+                assert base + block <= other_base or base >= other_end
+            spans.append((base, base + block))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 32), min_size=1, max_size=30))
+    def test_free_all_restores_arena(self, sizes):
+        allocator = BuddyAllocator(1 << 10)
+        bases = [allocator.allocate(size) for size in sizes]
+        for base in bases:
+            allocator.free(base)
+        assert allocator.free_words == 1 << 10
+        assert allocator.allocate(1 << 10) == 0
+
+
+class TestAbsoluteMemory:
+    def test_unwritten_reads_uninitialized(self):
+        memory = AbsoluteMemory(1 << 10)
+        assert memory.read(100).is_uninitialized
+
+    def test_write_read(self):
+        memory = AbsoluteMemory(1 << 10)
+        allocation = memory.allocate(4)
+        memory.write(allocation.base, Word.small_integer(7))
+        assert memory.read(allocation.base).value == 7
+
+    def test_only_words_storable(self):
+        memory = AbsoluteMemory(1 << 10)
+        with pytest.raises(InvalidAddress):
+            memory.write(0, 42)
+
+    def test_free_scrubs(self):
+        memory = AbsoluteMemory(1 << 10)
+        allocation = memory.allocate(2)
+        memory.write(allocation.base, Word.small_integer(1))
+        memory.free(allocation.base)
+        assert memory.read(allocation.base).is_uninitialized
+
+    def test_grow_in_place(self):
+        memory = AbsoluteMemory(1 << 10)
+        allocation = memory.allocate(3)   # block of 4
+        grown = memory.grow(allocation.base, 4)
+        assert grown.base == allocation.base
+
+    def test_grow_with_move_copies_words(self):
+        memory = AbsoluteMemory(1 << 10)
+        allocation = memory.allocate(2)
+        memory.write(allocation.base, Word.small_integer(11))
+        memory.write(allocation.base + 1, Word.small_integer(22))
+        grown = memory.grow(allocation.base, 16)
+        assert memory.read(grown.base).value == 11
+        assert memory.read(grown.base + 1).value == 22
+
+    def test_block_ops(self):
+        memory = AbsoluteMemory(1 << 10)
+        allocation = memory.allocate(4)
+        words = [Word.small_integer(i) for i in range(4)]
+        memory.write_block(allocation.base, words)
+        assert memory.read_block(allocation.base, 4) == words
+        memory.clear_block(allocation.base, 4)
+        assert all(w.is_uninitialized
+                   for w in memory.read_block(allocation.base, 4))
+
+
+class TestSegmentTable:
+    def _table(self):
+        return SegmentTable(address_format(16), team=1)
+
+    def test_allocate_names_distinct(self):
+        table = self._table()
+        names = {table.allocate_name(4) for _ in range(8)}
+        assert len(names) == 8
+        assert all(name[0] == 4 for name in names)
+
+    def test_translate(self):
+        table = self._table()
+        name = table.allocate_name(4)
+        table.install(name, SegmentDescriptor(base=128, length=10,
+                                              class_tag=1))
+        address = table.address_for(name, 3)
+        assert table.translate(address) == 131
+
+    def test_bounds_trap(self):
+        table = self._table()
+        name = table.allocate_name(4)
+        table.install(name, SegmentDescriptor(base=0, length=4, class_tag=1))
+        address = table.address_for(name, 9)
+        with pytest.raises(BoundsTrap) as exc:
+            table.translate(address)
+        assert exc.value.offset == 9
+        assert exc.value.length == 4
+
+    def test_unmapped_faults(self):
+        table = self._table()
+        with pytest.raises(SegmentFault):
+            table.descriptor((3, 0))
+
+    def test_release(self):
+        table = self._table()
+        name = table.allocate_name(2)
+        table.install(name, SegmentDescriptor(0, 4, 1))
+        table.release(name)
+        with pytest.raises(SegmentFault):
+            table.descriptor(name)
+        with pytest.raises(SegmentFault):
+            table.release(name)
+
+    def test_live_descriptors_excludes_forwarded(self):
+        table = self._table()
+        fmt = table.fmt
+        a = table.allocate_name(2)
+        table.install(a, SegmentDescriptor(0, 4, 1))
+        b = table.allocate_name(3)
+        forwarded = SegmentDescriptor(8, 4, 1,
+                                      forward=table.address_for(a))
+        table.install(b, forwarded)
+        live = dict(table.live_descriptors())
+        assert a in live and b not in live
+
+
+class TestATLB:
+    def test_fill_and_lookup(self):
+        atlb = ATLB(8, 2)
+        descriptor = SegmentDescriptor(0, 4, 1)
+        assert atlb.lookup(0, (2, 3)) is None
+        atlb.fill(0, (2, 3), descriptor)
+        assert atlb.lookup(0, (2, 3)) is descriptor
+
+    def test_team_isolation(self):
+        atlb = ATLB(8, 2)
+        descriptor = SegmentDescriptor(0, 4, 1)
+        atlb.fill(0, (2, 3), descriptor)
+        assert atlb.lookup(1, (2, 3)) is None
+
+    def test_invalidate_team(self):
+        atlb = ATLB(16, 2)
+        descriptor = SegmentDescriptor(0, 4, 1)
+        atlb.fill(0, (1, 0), descriptor)
+        atlb.fill(0, (1, 1), descriptor)
+        atlb.fill(1, (1, 0), descriptor)
+        assert atlb.invalidate_team(0) == 2
+        assert atlb.lookup(1, (1, 0)) is descriptor
+
+    def test_invalidate_segment(self):
+        atlb = ATLB(8, 2)
+        descriptor = SegmentDescriptor(0, 4, 1)
+        atlb.fill(0, (2, 3), descriptor)
+        assert atlb.invalidate_segment(0, (2, 3)) is True
+        assert atlb.lookup(0, (2, 3)) is None
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(
+            [DeviceSpec("l1", 4, block_words=4, associativity=2,
+                        latency_cycles=1),
+             DeviceSpec("l2", 16, block_words=4, associativity=4,
+                        latency_cycles=10)],
+            backing_latency=100,
+        )
+
+    def test_first_access_goes_to_backing(self):
+        hierarchy = self._hierarchy()
+        result = hierarchy.access(0)
+        assert result.level == 2
+        assert result.device is None
+        assert result.latency == 111
+
+    def test_second_access_hits_l1(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(0)
+        result = hierarchy.access(1)    # same 4-word block
+        assert result.device == "l1"
+        assert result.latency == 1
+
+    def test_l2_catches_l1_victims(self):
+        hierarchy = self._hierarchy()
+        # Touch 8 distinct blocks: more than l1 (4) but within l2 (16).
+        for block in range(8):
+            hierarchy.access(block * 4)
+        result = hierarchy.access(0)
+        assert result.device in ("l1", "l2")
+        assert result.level <= 1
+
+    def test_writeback_counted(self):
+        hierarchy = self._hierarchy()
+        for block in range(8):
+            hierarchy.access(block * 4, write=True)
+        assert hierarchy.total_writebacks > 0
+
+    def test_flush(self):
+        hierarchy = self._hierarchy()
+        hierarchy.access(0)
+        hierarchy.flush()
+        assert hierarchy.access(0).level == 2
+
+    def test_amat_positive_after_traffic(self):
+        hierarchy = default_hierarchy()
+        for address in range(0, 4096, 8):
+            hierarchy.access(address)
+        assert hierarchy.amat() > 1.0
+
+    def test_needs_devices(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+    def test_stats_for_unknown_device(self):
+        with pytest.raises(KeyError):
+            self._hierarchy().stats_for("l3")

@@ -1,0 +1,394 @@
+"""Tests for the Smalltalk front end (lexer, parser, compiler)."""
+
+import pytest
+
+from repro.core.machine import COMMachine
+from repro.errors import CompileError
+from repro.memory.tags import Tag
+from repro.smalltalk import compile_program, parse, parse_expression
+from repro.smalltalk.lexer import tokenize
+from repro.smalltalk.nodes import (
+    Assign,
+    BlockNode,
+    Literal,
+    Return,
+    Send,
+    VarRef,
+)
+
+
+def run_st(source: str, budget: int = 500_000):
+    machine = COMMachine()
+    main = compile_program(machine, source)
+    result = machine.run_program(main, max_instructions=budget)
+    return result, machine
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize("x := 3 + y foo: #bar.")]
+        assert kinds == ["ident", "assign", "int", "binary", "ident",
+                         "keyword", "atom", "period", "eof"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize('x "a comment" y')
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+    def test_line_numbers(self):
+        tokens = tokenize('"one\ntwo"\nx')
+        assert tokens[0].line == 3
+
+    def test_keywords_and_blockargs(self):
+        tokens = tokenize("[:each | each]")
+        assert tokens[0].kind == "lbracket"
+        assert tokens[1].kind == "blockarg"
+
+    def test_float_vs_period(self):
+        tokens = tokenize("3.5. x")
+        assert tokens[0].kind == "float"
+        assert tokens[1].kind == "period"
+
+    def test_modulo_selector(self):
+        tokens = tokenize("a \\\\ b")
+        assert tokens[1].kind == "binary"
+
+
+class TestParser:
+    def test_precedence_unary_binary_keyword(self):
+        expr = parse_expression("a foo + b bar max: c baz")
+        assert isinstance(expr, Send)
+        assert expr.selector == "max:"
+        left = expr.receiver
+        assert left.selector == "+"
+        assert left.receiver.selector == "foo"
+        assert expr.args[0].selector == "baz"
+
+    def test_binary_left_assoc(self):
+        expr = parse_expression("1 + 2 + 3")
+        assert expr.selector == "+"
+        assert expr.receiver.selector == "+"
+
+    def test_parens(self):
+        expr = parse_expression("1 + (2 * 3)")
+        assert expr.args[0].selector == "*"
+
+    def test_keyword_collects_parts(self):
+        expr = parse_expression("d at: 1 put: 2")
+        assert expr.selector == "at:put:"
+        assert len(expr.args) == 2
+
+    def test_block_with_params(self):
+        expr = parse_expression("[:a :b | a + b]")
+        assert isinstance(expr, BlockNode)
+        assert expr.params == ["a", "b"]
+
+    def test_program_sections(self):
+        program = parse("""
+        class Point extends Object fields: x y
+        Point >> getX
+            ^x
+        main | t |
+            t := 1.
+            ^t
+        """)
+        assert program.classes[0].fields == ["x", "y"]
+        assert program.methods[0].selector == "getX"
+        assert isinstance(program.methods[0].body[0], Return)
+        assert program.main.temps == ["t"]
+
+    def test_keyword_method_pattern(self):
+        program = parse("""
+        Point >> setX: ax y: ay
+            ^self
+        main
+            ^1
+        """)
+        method = program.methods[0]
+        assert method.selector == "setX:y:"
+        assert method.params == ["ax", "ay"]
+
+    def test_binary_method_pattern(self):
+        program = parse("""
+        Point >> + other
+            ^self
+        main
+            ^1
+        """)
+        assert program.methods[0].selector == "+"
+        assert program.methods[0].params == ["other"]
+
+    def test_statement_sequence(self):
+        program = parse("main\n    a := 1. b := 2. ^a")
+        kinds = [type(s) for s in program.main.body]
+        assert kinds == [Assign, Assign, Return]
+
+    def test_error_on_garbage(self):
+        with pytest.raises(CompileError):
+            parse("main\n    ^)")
+
+
+class TestCompiledPrograms:
+    def test_simple_return(self):
+        result, _ = run_st("main\n    ^41 + 1")
+        assert result.value == 42
+
+    def test_temporaries(self):
+        result, _ = run_st("""
+        main | a b |
+            a := 6.
+            b := 7.
+            ^a * b
+        """)
+        assert result.value == 42
+
+    def test_if_true_false(self):
+        result, _ = run_st("""
+        main | x |
+            x := 3 < 5 ifTrue: [10] ifFalse: [20].
+            x := x + (5 < 3 ifTrue: [1] ifFalse: [2]).
+            ^x
+        """)
+        assert result.value == 12
+
+    def test_if_without_else_yields_nil(self):
+        result, _ = run_st("""
+        main | x |
+            x := false ifTrue: [1].
+            x == nil ifTrue: [^99].
+            ^0
+        """)
+        assert result.value == 99
+
+    def test_while(self):
+        result, _ = run_st("""
+        main | i total |
+            i := 0. total := 0.
+            [i < 10] whileTrue: [total := total + i. i := i + 1].
+            ^total
+        """)
+        assert result.value == 45
+
+    def test_to_do(self):
+        result, _ = run_st("""
+        main | total |
+            total := 0.
+            1 to: 10 do: [:k | total := total + k].
+            ^total
+        """)
+        assert result.value == 55
+
+    def test_to_by_do(self):
+        result, _ = run_st("""
+        main | total |
+            total := 0.
+            0 to: 10 by: 2 do: [:k | total := total + k].
+            ^total
+        """)
+        assert result.value == 30
+
+    def test_times_repeat(self):
+        result, _ = run_st("""
+        main | n |
+            n := 1.
+            5 timesRepeat: [n := n * 2].
+            ^n
+        """)
+        assert result.value == 32
+
+    def test_and_or_short_circuit(self):
+        result, _ = run_st("""
+        main | a b |
+            a := (1 < 2) and: [3 < 4].
+            b := (2 < 1) or: [4 < 3].
+            a ifTrue: [b ifFalse: [^77]].
+            ^0
+        """)
+        assert result.value == 77
+
+    def test_comparison_spellings(self):
+        result, _ = run_st("""
+        main | n |
+            n := 0.
+            3 > 2 ifTrue: [n := n + 1].
+            3 >= 3 ifTrue: [n := n + 1].
+            3 ~= 4 ifTrue: [n := n + 1].
+            ^n
+        """)
+        assert result.value == 3
+
+    def test_instance_variables(self):
+        result, _ = run_st("""
+        class Counter extends Object fields: count
+        Counter >> init
+            count := 0. ^self
+        Counter >> bump
+            count := count + 1. ^count
+        main | c |
+            c := Counter new.
+            c init.
+            c bump. c bump.
+            ^c bump
+        """)
+        assert result.value == 3
+
+    def test_field_inheritance(self):
+        result, _ = run_st("""
+        class Base extends Object fields: a
+        class Derived extends Base fields: b
+        Derived >> fill
+            a := 10. b := 32. ^self
+        Derived >> total
+            ^a + b
+        main | d |
+            d := Derived new.
+            d fill.
+            ^d total
+        """)
+        assert result.value == 42
+
+    def test_keyword_send_three_args(self):
+        result, _ = run_st("""
+        class T extends Object
+        T >> a: x b: y c: z
+            ^x + y + z
+        main | t |
+            t := T new.
+            ^t a: 1 b: 2 c: 3
+        """)
+        assert result.value == 6
+
+    def test_array_primitives(self):
+        result, _ = run_st("""
+        main | arr total |
+            arr := Array new: 5.
+            0 to: 4 do: [:i | arr at: i put: i * i].
+            total := 0.
+            0 to: 4 do: [:i | total := total + (arr at: i)].
+            ^total
+        """)
+        assert result.value == 30
+
+    def test_float_arithmetic(self):
+        result, _ = run_st("""
+        main | x |
+            x := 1.5 + 2.5.
+            x := x * 2.0.
+            ^x
+        """)
+        assert result.tag is Tag.FLOAT
+        assert result.value == 8.0
+
+    def test_recursion(self):
+        result, _ = run_st("""
+        SmallInteger >> fib
+            self < 2 ifTrue: [^self].
+            ^(self - 1) fib + (self - 2) fib
+        main
+            ^12 fib
+        """)
+        assert result.value == 144
+
+    def test_polymorphic_send(self):
+        result, _ = run_st("""
+        class Circle extends Object fields: r
+        class Square extends Object fields: s
+        Circle >> setR: n
+            r := n. ^self
+        Square >> setS: n
+            s := n. ^self
+        Circle >> area
+            ^r * r * 3
+        Square >> area
+            ^s * s
+        main | shapes total |
+            shapes := Array new: 2.
+            shapes at: 0 put: (Circle new setR: 2).
+            shapes at: 1 put: (Square new setS: 3).
+            total := 0.
+            0 to: 1 do: [:i | total := total + (shapes at: i) area].
+            ^total
+        """)
+        assert result.value == 21
+
+    def test_implicit_return_self(self):
+        result, _ = run_st("""
+        class T extends Object fields: v
+        T >> setV
+            v := 5
+        main | t |
+            t := T new.
+            t setV.
+            ^t at: 0
+        """)
+        assert result.value == 5
+
+    def test_main_without_return_halts(self):
+        machine = COMMachine()
+        main = compile_program(machine, "main | x |\n    x := 1")
+        machine.start(main)
+        machine.run()
+        assert machine.halted
+
+
+class TestCompilerErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError):
+            run_st("main\n    ^mystery")
+
+    def test_assign_to_unknown(self):
+        with pytest.raises(CompileError):
+            run_st("main\n    mystery := 1. ^1")
+
+    def test_standalone_block_rejected(self):
+        with pytest.raises(CompileError):
+            run_st("main | b |\n    b := [1]. ^1")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            run_st("SmallInteger >> f\n    ^1")
+
+    def test_duplicate_class(self):
+        with pytest.raises(CompileError):
+            run_st("""
+            class A extends Object
+            class A extends Object
+            main
+                ^1
+            """)
+
+    def test_method_on_unknown_class(self):
+        with pytest.raises(CompileError):
+            run_st("""
+            Zorp >> f
+                ^1
+            main
+                ^1
+            """)
+
+    def test_to_do_block_arity(self):
+        with pytest.raises(CompileError):
+            run_st("main\n    1 to: 3 do: [:a :b | a]. ^1")
+
+
+class TestCompilerCodeQuality:
+    def test_frame_sizes_stay_small(self):
+        machine = COMMachine()
+        compile_program(machine, """
+        SmallInteger >> poly
+            ^((self + 1) * (self + 2)) + ((self + 3) * (self + 4))
+        main
+            ^3 poly
+        """)
+        # Smalltalk methods are small; even nested expressions fit well
+        # inside a 32-word context (the paper's design assumption).
+        assert machine.frame_sizes.fraction_fitting(32) == 1.0
+
+    def test_scratch_slots_released(self):
+        # Chained expressions must reuse scratch slots, not leak them.
+        result, machine = run_st("""
+        main | a |
+            a := ((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8)).
+            a := a + ((1 + 2) * (3 + 4)).
+            ^a
+        """)
+        assert result.value == 21 + 165 + 21

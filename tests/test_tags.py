@@ -1,0 +1,133 @@
+"""Tests for tagged memory words (repro.memory.tags)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TagMismatch
+from repro.memory.tags import (
+    SMALL_INTEGER_MAX,
+    SMALL_INTEGER_MIN,
+    Tag,
+    Word,
+    fits_small_integer,
+)
+
+
+class TestTag:
+    def test_six_primitive_tags(self):
+        assert len(Tag) == 6
+
+    def test_pointer_is_not_primitive(self):
+        assert not Tag.OBJECT_POINTER.is_primitive
+
+    def test_other_tags_are_primitive(self):
+        for tag in Tag:
+            if tag is not Tag.OBJECT_POINTER:
+                assert tag.is_primitive
+
+    def test_default_class_tag_is_zero_extended_tag(self):
+        # Section 3.2: "for primitives, this 16-bit tag is the four bit
+        # tag zero extended".
+        for tag in Tag:
+            if tag.is_primitive:
+                assert tag.default_class_tag() == int(tag)
+
+    def test_tags_fit_four_bits(self):
+        for tag in Tag:
+            assert 0 <= int(tag) < 16
+
+
+class TestSmallIntegerRange:
+    def test_bounds(self):
+        assert fits_small_integer(SMALL_INTEGER_MAX)
+        assert fits_small_integer(SMALL_INTEGER_MIN)
+        assert not fits_small_integer(SMALL_INTEGER_MAX + 1)
+        assert not fits_small_integer(SMALL_INTEGER_MIN - 1)
+
+    def test_zero(self):
+        assert fits_small_integer(0)
+
+    @given(st.integers(min_value=SMALL_INTEGER_MIN,
+                       max_value=SMALL_INTEGER_MAX))
+    def test_in_range_constructs(self, value):
+        word = Word.small_integer(value)
+        assert word.value == value
+        assert word.tag is Tag.SMALL_INTEGER
+
+    @given(st.integers().filter(lambda v: not fits_small_integer(v)))
+    def test_out_of_range_raises(self, value):
+        with pytest.raises(TagMismatch):
+            Word.small_integer(value)
+
+
+class TestWordConstructors:
+    def test_uninitialized_is_shared(self):
+        assert Word.uninitialized() is Word.uninitialized()
+        assert Word.uninitialized().is_uninitialized
+
+    def test_float(self):
+        word = Word.floating(2.5)
+        assert word.is_float
+        assert word.value == 2.5
+        assert word.class_tag == int(Tag.FLOAT)
+
+    def test_atom(self):
+        word = Word.atom("nil")
+        assert word.tag is Tag.ATOM
+        assert word.value == "nil"
+
+    def test_instruction_masks_to_32_bits(self):
+        word = Word.instruction((1 << 40) | 0xDEADBEEF)
+        assert word.value == 0xDEADBEEF
+
+    def test_pointer_carries_class_tag(self):
+        word = Word.pointer(0x123, 42)
+        assert word.is_pointer
+        assert word.class_tag == 42
+        assert word.value == 0x123
+
+    def test_pointer_requires_class_tag(self):
+        with pytest.raises(TagMismatch):
+            Word(Tag.OBJECT_POINTER, 0x123)
+
+    def test_class_tag_range_enforced(self):
+        with pytest.raises(TagMismatch):
+            Word.pointer(0, 1 << 16)
+        with pytest.raises(TagMismatch):
+            Word.pointer(0, -2)
+
+    def test_is_number(self):
+        assert Word.small_integer(1).is_number
+        assert Word.floating(1.0).is_number
+        assert not Word.atom("x").is_number
+
+
+class TestWordSemantics:
+    def test_expect_matching(self):
+        assert Word.small_integer(7).expect(Tag.SMALL_INTEGER) == 7
+
+    def test_expect_mismatch(self):
+        with pytest.raises(TagMismatch):
+            Word.small_integer(7).expect(Tag.FLOAT)
+
+    def test_same_object_identity(self):
+        assert Word.small_integer(3).same_object_as(Word.small_integer(3))
+        assert not Word.small_integer(3).same_object_as(Word.floating(3.0))
+        assert Word.atom("a").same_object_as(Word.atom("a"))
+        assert not Word.atom("a").same_object_as(Word.atom("b"))
+
+    def test_words_are_immutable(self):
+        word = Word.small_integer(1)
+        with pytest.raises(Exception):
+            word.value = 2
+
+    def test_words_are_hashable(self):
+        assert len({Word.small_integer(1), Word.small_integer(1),
+                    Word.small_integer(2)}) == 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 36) - 1),
+           st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_pointer_roundtrip(self, address, class_tag):
+        word = Word.pointer(address, class_tag)
+        assert word.value == address
+        assert word.class_tag == class_tag

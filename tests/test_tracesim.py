@@ -1,0 +1,179 @@
+"""Tests for the trace-driven cache simulator (repro.trace)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.cachesim import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_SIZES,
+    ascii_plot,
+    simulate_icache,
+    simulate_itlb,
+    sweep_icache,
+    sweep_itlb,
+)
+from repro.trace.events import (
+    TraceEvent,
+    addresses,
+    dispatched_only,
+    split_warmup,
+)
+from repro.trace.workloads import monomorphic_trace
+
+
+def _synthetic(keys, repeat=10):
+    """A trace touching the given (opcode, class) keys round-robin."""
+    events = []
+    for r in range(repeat):
+        for index, (opcode, cls) in enumerate(keys):
+            events.append(TraceEvent(index, opcode, cls))
+    return events
+
+
+class TestTraceEvents:
+    def test_itlb_key(self):
+        event = TraceEvent(10, 5, 7)
+        assert event.itlb_key == (5, (7,))
+
+    def test_split_warmup(self):
+        events = [TraceEvent(i, 1, 1) for i in range(100)]
+        warm, measure = split_warmup(events, 0.25)
+        assert len(warm) == 25
+        assert len(measure) == 75
+
+    def test_split_warmup_validation(self):
+        with pytest.raises(ValueError):
+            split_warmup([], 1.5)
+
+    def test_dispatched_only(self):
+        events = [TraceEvent(0, 1, 1, dispatched=True),
+                  TraceEvent(1, 2, 1, dispatched=False)]
+        assert [e.opcode for e in dispatched_only(events)] == [1]
+
+    def test_addresses(self):
+        events = [TraceEvent(3, 1, 1), TraceEvent(9, 1, 1)]
+        assert list(addresses(events)) == [3, 9]
+
+
+class TestSimulateITLB:
+    def test_monomorphic_trace_is_all_hits(self):
+        events = monomorphic_trace(1000)
+        stats = simulate_itlb(events, 8, 2, warmup_fraction=0.1)
+        assert stats.hit_ratio == 1.0
+
+    def test_small_cache_thrashes_many_keys(self):
+        keys = [(op, 1) for op in range(100)]
+        events = _synthetic(keys, repeat=5)
+        small = simulate_itlb(events, 8, 2, warmup_fraction=0.0)
+        large = simulate_itlb(events, 128, 2, warmup_fraction=0.0)
+        assert small.hit_ratio < large.hit_ratio
+
+    def test_double_pass_removes_compulsory_misses(self):
+        keys = [(op, 1) for op in range(50)]
+        events = _synthetic(keys, repeat=2)
+        single = simulate_itlb(events, 128, 2, warmup_fraction=0.0)
+        double = simulate_itlb(events, 128, 2, double_pass=True)
+        assert double.hit_ratio == 1.0
+        assert single.hit_ratio < 1.0
+
+    def test_dispatched_filter(self):
+        events = [TraceEvent(i, 1, 1, dispatched=(i % 2 == 0))
+                  for i in range(100)]
+        stats = simulate_itlb(events, 8, 2, warmup_fraction=0.0)
+        assert stats.accesses == 50
+
+    def test_warmup_excluded_from_stats(self):
+        events = [TraceEvent(i, i, 1) for i in range(100)]
+        stats = simulate_itlb(events, 256, 2, warmup_fraction=0.5)
+        assert stats.accesses == 50
+
+
+class TestSimulateICache:
+    def test_loop_reuse(self):
+        events = [TraceEvent(i % 16, 1, 1) for i in range(1000)]
+        stats = simulate_icache(events, 64, 2, warmup_fraction=0.1)
+        assert stats.hit_ratio == 1.0
+
+    def test_streaming_never_hits(self):
+        events = [TraceEvent(i, 1, 1) for i in range(1000)]
+        stats = simulate_icache(events, 64, 2, warmup_fraction=0.0)
+        assert stats.hit_ratio == 0.0
+
+    def test_line_words_capture_spatial_locality(self):
+        events = [TraceEvent(i, 1, 1) for i in range(1024)]
+        no_lines = simulate_icache(events, 64, 2, line_words=1,
+                                   warmup_fraction=0.0)
+        lines = simulate_icache(events, 64, 2, line_words=8,
+                                warmup_fraction=0.0)
+        assert lines.hit_ratio > no_lines.hit_ratio
+
+
+class TestSweeps:
+    def _events(self):
+        keys = [(op, cls) for op in range(20) for cls in range(4)]
+        return _synthetic(keys, repeat=4)
+
+    def test_sweep_shape(self):
+        result = sweep_itlb(self._events(), sizes=(8, 32, 128),
+                            associativities=(1, 2))
+        assert set(result.ratios) == {1, 2}
+        assert set(result.ratios[1]) == {8, 32, 128}
+
+    def test_hit_ratio_monotone_in_size_full_assoc(self):
+        events = self._events()
+        result = sweep_itlb(events, sizes=(8, 16, 32, 64, 128),
+                            associativities=("full",),
+                            warmup_fraction=0.0)
+        ratios = [result.ratio("full", s) for s in (8, 16, 32, 64, 128)]
+        assert ratios == sorted(ratios)
+
+    def test_smallest_size_reaching(self):
+        events = _synthetic([(op, 1) for op in range(4)], repeat=20)
+        result = sweep_itlb(events, sizes=(8, 128),
+                            associativities=(2,), double_pass=True)
+        assert result.smallest_size_reaching(0.99, 2) == 8
+        assert result.smallest_size_reaching(1.1, 2) is None
+
+    def test_table_renders(self):
+        result = sweep_itlb(self._events(), sizes=(8, 16),
+                            associativities=(1, 2))
+        table = result.table()
+        assert "1-way" in table and "2-way" in table
+        assert "16" in table
+
+    def test_icache_sweep(self):
+        result = sweep_icache(self._events(), sizes=(8, 64),
+                              associativities=(1,))
+        assert 0.0 <= result.ratio(1, 8) <= 1.0
+
+    def test_ascii_plot(self):
+        result = sweep_itlb(self._events(), sizes=PAPER_SIZES,
+                            associativities=PAPER_ASSOCIATIVITIES)
+        plot = ascii_plot(result)
+        assert "legend" in plot
+        assert plot.count("\n") > 10
+
+
+class TestDeterminism:
+    def test_simulations_are_reproducible(self):
+        keys = [(op, 1) for op in range(64)]
+        events = _synthetic(keys, repeat=3)
+        a = simulate_itlb(events, 32, 2)
+        b = simulate_itlb(events, 32, 2)
+        assert a.hits == b.hits and a.misses == b.misses
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 5)),
+                    min_size=10, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, key_list):
+        events = _synthetic(key_list, repeat=2)
+        stats = simulate_itlb(events, 16, 2, warmup_fraction=0.25)
+        assert stats.hits + stats.misses == stats.accesses
+        assert 0.0 <= stats.hit_ratio <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=10, max_size=300))
+    def test_infinite_cache_misses_equal_footprint(self, address_list):
+        events = [TraceEvent(a, 1, 1) for a in address_list]
+        stats = simulate_icache(events, 4096, "full", warmup_fraction=0.0)
+        assert stats.misses == len(set(address_list))
