@@ -2,9 +2,15 @@
 
 The measurement trace is generated once per session; each figure bench
 replays it against its cache models.  Scale with REPRO_BENCH_SCALE=N.
+
+At session end, every pytest-benchmark result is written to
+``BENCH_throughput.json`` at the repository root (ops/sec per
+benchmark) so the performance trajectory is tracked across PRs.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -15,3 +21,40 @@ from repro.trace.workloads import paper_trace
 def events():
     scale = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
     return paper_trace(scale)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Record ops/sec for every benchmark that ran this session."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    payload = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        # Some pytest-benchmark versions nest Stats inside Metadata.
+        stats = getattr(stats, "stats", stats)
+        if stats is None or not getattr(stats, "rounds", 0):
+            continue
+        # fullname (module::test) keeps same-named benchmarks in
+        # different files from colliding.
+        payload[getattr(bench, "fullname", bench.name)] = {
+            "ops_per_second": stats.ops,
+            "mean_seconds": stats.mean,
+            "rounds": stats.rounds,
+        }
+    if not payload:
+        return
+    path = Path(str(session.config.rootpath)) / "BENCH_throughput.json"
+    try:
+        # Merge over the existing record so a partial run (-k, single
+        # file) updates its benchmarks without erasing the others.
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict):
+                existing.update(payload)
+                payload = existing
+        except (OSError, ValueError):
+            pass
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:  # never fail the run over bookkeeping
+        pass

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Union
 
-from repro.caches.setassoc import SetAssociativeCache
+from repro.caches.setassoc import MISS, SetAssociativeCache
 
 #: An ITLB key: the opcode number plus the operand class tags.
 ITLBKey = Tuple[int, Tuple[int, ...]]
@@ -111,6 +111,24 @@ class ITLB:
         entry = ITLBEntry.from_method(lookup.method)
         self._cache.fill(key, entry)
         return TranslateOutcome(entry, False, lookup)
+
+    def probe_entry(self, opcode: int,
+                    class_tags: Tuple[int, ...]) -> Optional[ITLBEntry]:
+        """Statistical probe returning the cached entry or None.
+
+        Fast-path flavour of :meth:`translate`: the caller performs the
+        miss lookup itself and installs the result with
+        :meth:`fill_entry`, avoiding the closure and outcome-object
+        allocations of the general path.  Hit/miss statistics are
+        identical to :meth:`translate`.
+        """
+        entry = self._cache.probe((opcode, class_tags))
+        return None if entry is MISS else entry
+
+    def fill_entry(self, opcode: int, class_tags: Tuple[int, ...],
+                   entry: ITLBEntry) -> None:
+        """Install a miss result produced by the caller (see probe_entry)."""
+        self._cache.fill((opcode, class_tags), entry)
 
     # -- trace-driven path (the section-5 simulator) ----------------------------
 

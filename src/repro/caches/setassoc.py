@@ -28,6 +28,9 @@ _MISS = object()
 
 REPLACEMENT_POLICIES = ("lru", "fifo", "random")
 
+#: Upper bound on the key -> set placement memo (see ``_set_for``).
+_PLACEMENT_MEMO_LIMIT = 1 << 16
+
 
 def _stable_hash(key: Hashable) -> int:
     """A deterministic hash usable across runs (no PYTHONHASHSEED effects).
@@ -113,13 +116,24 @@ class SetAssociativeCache(Generic[K, V]):
         # Each set is an OrderedDict: iteration order is recency order
         # for LRU (oldest first) and insertion order for FIFO.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        # key -> set memo: _stable_hash walks tuples/strings on every
+        # probe, which dominates hot lookups; placement is a pure
+        # function of the key so it can be cached (bounded to keep
+        # trace-scale key churn from growing it without limit).
+        self._placement: Dict[K, OrderedDict] = {}
 
     # -- internals --------------------------------------------------------
 
     def _set_for(self, key: K) -> OrderedDict:
         if self.index == "modulo":
             return self._sets[int(key) % self.num_sets]
-        return self._sets[_stable_hash(key) % self.num_sets]
+        entries = self._placement.get(key)
+        if entries is None:
+            entries = self._sets[_stable_hash(key) % self.num_sets]
+            if len(self._placement) >= _PLACEMENT_MEMO_LIMIT:
+                self._placement.clear()
+            self._placement[key] = entries
+        return entries
 
     def _next_random(self) -> int:
         x = self._rand_state

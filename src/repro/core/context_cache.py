@@ -86,6 +86,7 @@ class ContextCache:
         self._data: List[List[Word]] = [
             [Word.uninitialized()] * block_words for _ in range(num_blocks)
         ]
+        self._clear_template: List[Word] = [Word.uninitialized()] * block_words
         self._directory: Dict[int, int] = {}       # absolute base -> block
         self._base_of: List[Optional[int]] = [None] * num_blocks
         self._dirty: List[bool] = [False] * num_blocks
@@ -102,9 +103,10 @@ class ContextCache:
         self._lru.append(block)
 
     def _clear_block(self, block: int) -> None:
-        data = self._data[block]
-        for i in range(self.block_words):
-            data[i] = Word.uninitialized()
+        # Slice-assign a prebuilt template: block clears happen on
+        # every context allocation (the words are shared immutable
+        # uninitialized singletons, as Word.uninitialized returns).
+        self._data[block][:] = self._clear_template
         self.stats.block_clears += 1
 
     @property

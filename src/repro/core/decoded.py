@@ -1,0 +1,276 @@
+"""Predecoded instruction streams for the COM interpreter.
+
+The functional simulator's hottest path is :meth:`COMMachine.step`:
+the seed re-decoded the same 32-bit word into frozen ``Instruction``/
+``Operand`` dataclasses on every fetch, re-derived the architectural
+:class:`~repro.core.isa.Op` three or four times per instruction, and
+re-translated the IP through the MMU.  None of that work depends on
+machine state -- a method's code is immutable between installation and
+redefinition -- so it can be done once, when
+:meth:`COMMachine.install_method` stores the method.
+
+This module holds the result of that one-time work:
+
+* :class:`DecodedInstruction` -- one instruction's *plan*: the decoded
+  ``Instruction``, its memoized architectural op, the dispatch shape
+  (which operand words form the ITLB key), precomputed operand slots,
+  the destination-write shape, the RAW-hazard source set, and the
+  pretranslated fall-through IP;
+* :class:`DecodedMethod` -- a method's plan array plus the absolute
+  base of its code segment (the IP-translation cache for straight-line
+  fetch: ``absolute = base_absolute + offset`` with a descriptor
+  validity check, no MMU walk);
+* :class:`DecodedProgramCache` -- the per-machine registry, keyed by
+  the code segment name and indexed by absolute code address for
+  invalidation.
+
+Invalidation rules (documented in DESIGN.md):
+
+* **re-installation** -- ``install_method`` shoots down the redefined
+  method's plans exactly like the existing ITLB selector shootdown;
+* **heap writes** -- the machine registers :meth:`note_write` as an
+  absolute-memory write watcher, so any store into predecoded code
+  (e.g. ``at:put:`` into a method object) drops that method's plans;
+* **frees** -- a freed block (method garbage-collected) drops any
+  plans it covered via :meth:`note_free`;
+* **segment moves** -- the fetch fast path revalidates the captured
+  segment descriptor (base unchanged, no alias forward, readable)
+  before trusting a plan, so grown/aliased code falls back to the
+  slow path.
+
+Every plan consumer preserves the seed's cycle accounting, trace
+events and :class:`~repro.caches.stats.AccessProfile` tallies exactly;
+``tests/test_predecode.py`` pins that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.context import operand_slot
+from repro.core.encoding import Instruction
+from repro.core.isa import Op, architectural_op
+from repro.core.operands import Mode, Operand, Space
+
+#: Dispatch shapes: which operand words form the ITLB key (receiver
+#: first), mirroring ``COMMachine._dispatch_sources``.
+K_HALT = 0      # no dispatch; stops the machine
+K_ZERO = 1      # zero-operand format: nargs next-context locals
+K_SOURCES = 2   # three-operand format: read the plan's source list
+
+#: Destination-write shapes, mirroring ``COMMachine._write_result`` /
+#: ``_write_operand`` for a three-operand primitive result.
+D_NONE = 0      # at:put: has no destination
+D_ZERO = 1      # zero-operand: through the next context's result pointer
+D_CUR0 = 2      # current-context slot 0: indirect through arg0 if pointer
+D_CUR = 3       # current-context slot write
+D_NEXT = 4      # next-context slot write
+D_SLOW = 5      # constant-mode destination: defer to the slow writer (raises)
+
+#: Ops whose sources are operands B and C, destination A (re-exported
+#: by machine.py for its slow path).
+BINARY_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+    Op.CARRY, Op.MULT1, Op.MULT2,
+    Op.SHIFT, Op.ASHIFT, Op.ROTATE, Op.MASK,
+    Op.AND, Op.OR, Op.XOR,
+    Op.LT, Op.LE, Op.EQ, Op.SAME,
+})
+#: Ops whose single source is operand B, destination A.
+UNARY_OPS = frozenset({Op.NEG, Op.NOT, Op.TAG, Op.MOVE})
+
+#: Ops that never record a previous-destination for hazard tracking.
+_NO_DEST_OPS = frozenset({Op.FJMP, Op.RJMP, Op.XFER, Op.HALT, Op.ATPUT})
+
+
+def _source_operands(inst: Instruction, arch) -> Tuple[Operand, ...]:
+    """The operands whose words form the ITLB key, receiver first."""
+    a, b, c = inst.operands
+    if arch in BINARY_OPS or arch is None:
+        return (b, c)                 # user sends dispatch like binaries
+    if arch in UNARY_OPS or arch is Op.MOVEA:
+        return (b,)
+    if arch is Op.AT or arch is Op.AS:
+        return (b, c)
+    if arch is Op.ATPUT:
+        return (b, c, a)
+    if arch in (Op.FJMP, Op.RJMP, Op.XFER):
+        return (a,)
+    return ()                          # HALT (three-operand spelling)
+
+
+def _reader_of(operand: Operand) -> Tuple[bool, bool, int]:
+    """(is_constant, is_current, table_index_or_context_slot)."""
+    if operand.mode is Mode.CONSTANT:
+        return (True, False, operand.offset)
+    return (False, operand.space is Space.CURRENT,
+            operand_slot(operand.offset))
+
+
+class DecodedInstruction:
+    """One instruction's execution plan (see module docstring)."""
+
+    __slots__ = (
+        "inst", "word", "opcode", "selector", "arch", "kind", "returns",
+        "nargs", "sources", "dest_kind", "dest_slot", "hazards",
+        "dest_prev", "next_ip",
+    )
+
+    def __init__(self, inst: Instruction, word: int, selector: str,
+                 next_ip) -> None:
+        self.inst = inst
+        self.word = word
+        self.opcode = inst.opcode
+        self.selector = selector
+        self.arch = arch = architectural_op(inst.opcode)
+        self.returns = inst.returns
+        self.nargs = inst.nargs
+        self.next_ip = next_ip
+        if arch is Op.HALT:
+            self.kind = K_HALT
+        elif inst.is_zero_operand:
+            self.kind = K_ZERO
+        else:
+            self.kind = K_SOURCES
+        if inst.is_zero_operand:
+            self.sources: Tuple[Tuple[bool, bool, int], ...] = ()
+            self.hazards: frozenset = frozenset()
+            self.dest_kind = D_ZERO
+            self.dest_slot = 0
+            self.dest_prev = None
+            return
+        self.sources = tuple(
+            _reader_of(op) for op in _source_operands(inst, arch))
+        # RAW hazard: operands B/C reading the previous instruction's
+        # context destination (COMMachine._check_raw_hazard).
+        self.hazards = frozenset(
+            (op.space.value, op.offset)
+            for op in inst.operands[1:] if op.mode is Mode.CONTEXT
+        )
+        a = inst.operands[0]
+        if arch is Op.ATPUT:
+            self.dest_kind, self.dest_slot = D_NONE, 0
+        elif a.mode is Mode.CONSTANT:
+            self.dest_kind, self.dest_slot = D_SLOW, 0
+        elif a.space is Space.CURRENT:
+            if a.offset == 0:
+                self.dest_kind = D_CUR0
+            else:
+                self.dest_kind = D_CUR
+            self.dest_slot = operand_slot(a.offset)
+        else:
+            self.dest_kind, self.dest_slot = D_NEXT, operand_slot(a.offset)
+        # Previous-destination bookkeeping (COMMachine._record_dest).
+        if arch in _NO_DEST_OPS or a.mode is not Mode.CONTEXT:
+            self.dest_prev = None
+        else:
+            self.dest_prev = (a.space.value, a.offset)
+
+
+class DecodedMethod:
+    """A method's predecoded plan array plus its pretranslated base."""
+
+    __slots__ = ("segment_key", "base_absolute", "descriptor", "plans")
+
+    def __init__(self, segment_key: Tuple[int, int], base_absolute: int,
+                 descriptor, plans: List[Optional[DecodedInstruction]]) -> None:
+        self.segment_key = segment_key
+        self.base_absolute = base_absolute
+        self.descriptor = descriptor
+        self.plans = plans
+
+    def is_valid(self) -> bool:
+        """Whether the captured translation still holds (no move/alias)."""
+        d = self.descriptor
+        return (d.base == self.base_absolute and d.forward is None
+                and d.capability_read)
+
+
+class DecodedProgramCache:
+    """Per-machine registry of predecoded methods.
+
+    ``by_segment`` is consulted by the fetch fast path (one dict probe
+    per instruction); ``_owner_of`` maps every covered absolute code
+    address back to its method for write invalidation.
+    """
+
+    def __init__(self) -> None:
+        self.by_segment: Dict[Tuple[int, int], DecodedMethod] = {}
+        self._owner_of: Dict[int, Tuple[int, int]] = {}
+        self.installs = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self.by_segment)
+
+    def predecode(self, code_base, instructions, words, base_absolute,
+                  descriptor, selector_of) -> DecodedMethod:
+        """Build and register a method's plans.
+
+        ``code_base`` is the method's virtual base address,
+        ``instructions`` its decoded instructions, ``words`` the encoded
+        32-bit values, ``selector_of`` the opcode-number -> selector map.
+        """
+        span = code_base.span
+        plans: List[Optional[DecodedInstruction]] = []
+        for index, (inst, word) in enumerate(zip(instructions, words)):
+            # The fall-through IP is pretranslated here; the last slot
+            # of a full segment has none (stepping past it must raise
+            # exactly as the slow path would).
+            next_ip = (code_base.step(index + 1)
+                       if index + 1 < span else None)
+            plans.append(DecodedInstruction(
+                inst, word, selector_of(inst.opcode), next_ip))
+        method = DecodedMethod(
+            code_base.segment_name, base_absolute, descriptor, plans)
+        self.install(method)
+        return method
+
+    def install(self, method: DecodedMethod) -> None:
+        old = self.by_segment.get(method.segment_key)
+        if old is not None:
+            self._drop(old)
+        self.by_segment[method.segment_key] = method
+        for index in range(len(method.plans)):
+            self._owner_of[method.base_absolute + index] = method.segment_key
+        self.installs += 1
+
+    # -- invalidation ------------------------------------------------------
+
+    def _drop(self, method: DecodedMethod) -> None:
+        self.by_segment.pop(method.segment_key, None)
+        for index in range(len(method.plans)):
+            self._owner_of.pop(method.base_absolute + index, None)
+        self.invalidations += 1
+
+    def invalidate_segment(self, segment_key: Tuple[int, int]) -> bool:
+        """Shoot down one method's plans (method redefinition)."""
+        method = self.by_segment.get(segment_key)
+        if method is None:
+            return False
+        self._drop(method)
+        return True
+
+    def note_write(self, absolute: int) -> None:
+        """Absolute-memory write watcher: drop plans covering ``absolute``."""
+        owner = self._owner_of.get(absolute)
+        if owner is not None:
+            self.invalidate_segment(owner)
+
+    def note_free(self, base: int, block_size: int) -> None:
+        """Absolute-memory free watcher: drop plans inside the freed block."""
+        if not self.by_segment:
+            return
+        end = base + block_size
+        victims = [
+            method for method in self.by_segment.values()
+            if method.base_absolute < end
+            and base < method.base_absolute + len(method.plans)
+        ]
+        for method in victims:
+            self._drop(method)
+
+    def flush(self) -> None:
+        self.invalidations += len(self.by_segment)
+        self.by_segment.clear()
+        self._owner_of.clear()

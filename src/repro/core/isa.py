@@ -101,6 +101,23 @@ BRANCH_OPS = frozenset({Op.FJMP, Op.RJMP})
 #: First opcode number available for user-defined selectors.
 FIRST_USER_OPCODE = 64
 
+#: Memoized opcode-number -> Op member (or None) for the whole opcode
+#: space.  The interpretation loop consults the architectural op of
+#: every instruction several times per step; a flat table turns that
+#: into a single index instead of an enum construction.
+ARCHITECTURAL_OPS: tuple = tuple(
+    Op(number) if (0 < number < FIRST_USER_OPCODE
+                   and number in Op._value2member_map_) else None
+    for number in range(NUM_OPCODES)
+)
+
+
+def architectural_op(number: int) -> Optional[Op]:
+    """The :class:`Op` member for an architectural number, else None."""
+    if 0 <= number < NUM_OPCODES:
+        return ARCHITECTURAL_OPS[number]
+    return None
+
 
 class OpcodeTable:
     """Bidirectional map between opcode numbers and selector names.
@@ -148,12 +165,7 @@ class OpcodeTable:
 
     def architectural_op(self, number: int) -> Optional[Op]:
         """The :class:`Op` member for an architectural number, else None."""
-        if 0 < number < FIRST_USER_OPCODE:
-            try:
-                return Op(number)
-            except ValueError:
-                return None
-        return None
+        return architectural_op(number)
 
     def selectors(self) -> Iterator[str]:
         return iter(self._by_selector)

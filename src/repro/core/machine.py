@@ -20,8 +20,8 @@ methods) or performs the method-call sequence (defined methods).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.caches.icache import InstructionCache
 from repro.caches.itlb import ITLB, ITLBEntry
@@ -61,25 +61,24 @@ from repro.core.context import (
     operand_slot,
 )
 from repro.core.context_cache import ContextCache
+from repro.core.decoded import (
+    BINARY_OPS as _BINARY_OPS,
+    D_CUR,
+    D_CUR0,
+    D_NEXT,
+    D_SLOW,
+    D_ZERO,
+    DecodedProgramCache,
+    K_HALT,
+    K_ZERO,
+    UNARY_OPS as _UNARY_OPS,
+)
 from repro.core.encoding import Instruction
 from repro.core.isa import Op, OpcodeTable
 from repro.core.operands import Mode, Operand, Space
 from repro.core.pipeline import CycleAccountant, CycleParams
-from repro.core.primitives import ArithmeticTrap, execute_unit
+from repro.core.primitives import execute_unit
 from repro.core.registers import RegisterFile
-
-#: Ops whose sources are operands B and C, destination A.
-_BINARY_OPS = frozenset({
-    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
-    Op.CARRY, Op.MULT1, Op.MULT2,
-    Op.SHIFT, Op.ASHIFT, Op.ROTATE, Op.MASK,
-    Op.AND, Op.OR, Op.XOR,
-    Op.LT, Op.LE, Op.EQ, Op.SAME,
-})
-#: Ops whose single source is operand B, destination A.
-_UNARY_OPS = frozenset({Op.NEG, Op.NOT, Op.TAG, Op.MOVE})
-
-
 from repro.trace.events import TraceEvent
 
 
@@ -113,6 +112,7 @@ class COMMachine:
         cycle_params: Optional[CycleParams] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         context_pool_limit: Optional[int] = None,
+        predecode: bool = True,
     ) -> None:
         self.mmu = MMU(address_format(address_bits), hierarchy=hierarchy)
         self.registry = ClassRegistry()
@@ -144,6 +144,29 @@ class COMMachine:
         #: Call depth of the running program (top-level frame = 1).
         self.depth = 0
         self.max_depth = 0
+        #: Predecode layer: per-method instruction plans consulted by
+        #: the fetch fast path.  Disable (predecode=False) to force the
+        #: decode-every-step interpreter -- the equivalence tests run
+        #: both and require identical cycles, profile and trace.
+        self.predecode = predecode
+        self.decoded = DecodedProgramCache()
+        if predecode:
+            self.mmu.absolute.watch_writes(self.decoded.note_write)
+            self.mmu.absolute.watch_frees(self.decoded.note_free)
+        #: Machine-level function units by name: replaces the former
+        #: string-compare chain in _run_machine_unit with one dict
+        #: lookup of a bound handler.
+        self._machine_units = {
+            "machine.movea": self._unit_movea,
+            "machine.at": self._unit_at,
+            "machine.atput": self._unit_atput,
+            "machine.as": self._unit_as,
+            "machine.fjmp": self._unit_fjmp,
+            "machine.rjmp": self._unit_rjmp,
+            "machine.xfer": self._unit_xfer,
+            "machine.new": self._unit_new,
+            "machine.newsize": self._unit_newsize,
+        }
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -268,19 +291,33 @@ class COMMachine:
 
         Re-installation (redefinition) shoots down the stale ITLB
         entries for the selector -- the smooth-extensibility story of
-        section 2.1: no caller's object code changes.
+        section 2.1: no caller's object code changes -- and, exactly
+        like that shootdown, drops the replaced method's predecoded
+        instruction plans (see :mod:`repro.core.decoded`).
         """
         opcode = self.opcodes.intern(selector)
         if not instructions:
             raise EncodingError(f"method {selector!r} has no instructions")
         code = self.heap.allocate(self.method_class, len(instructions),
                                   kind="method")
+        words = []
         for index, inst in enumerate(instructions):
-            self.heap.store(code, index, Word.instruction(inst.encode()))
+            word = inst.encode()
+            words.append(word)
+            self.heap.store(code, index, Word.instruction(word))
         compiled = CompiledMethod(
             selector, code, len(instructions), argument_count, frame_words)
+        previous = self._methods.get((cls.class_tag, selector))
         cls.define_method(selector, compiled, argument_count)
         self.itlb.invalidate_selector(opcode)
+        if previous is not None:
+            self.decoded.invalidate_segment(
+                previous.code_address.segment_name)
+        if self.predecode:
+            result = self.mmu.translate(self.heap.team, code)
+            self.decoded.predecode(
+                code, instructions, words, result.absolute,
+                result.descriptor, self.opcodes.selector_of)
         self._methods[(cls.class_tag, selector)] = compiled
         self.frame_sizes.record(frame_words)
         if frame_words > CONTEXT_WORDS:
@@ -561,89 +598,102 @@ class COMMachine:
         """Execute a primitive that needs machine state.
 
         Returns True when the unit changed control flow (IP already
-        set); False when the default IP increment should happen.
+        set); False when the default IP increment should happen.  The
+        units live in ``self._machine_units``, a dict of bound
+        handlers keyed by unit name.
         """
-        a = inst.operands[0] if inst.operands else None
-        c = inst.operands[2] if inst.operands else None
-        if unit == "machine.movea":
-            address = self._effective_address(inst.operands[1])
-            self._write_operand(
-                a, Word.pointer(address.packed, self.context_class.class_tag))
-            return False
-        if unit == "machine.at":
-            obj, index = sources[0], sources[1]
-            if not obj.is_pointer or not index.is_small_integer:
-                raise TagMismatch("at: needs (pointer, small integer)")
-            self.cycles.memory_instruction()
-            word = self._load_memory_word(
-                self.mmu.fmt.from_packed(obj.value).step(index.value))
-            self._write_operand(a, word)
-            return False
-        if unit == "machine.atput":
-            obj, index, value = sources[0], sources[1], sources[2]
-            if not obj.is_pointer or not index.is_small_integer:
-                raise TagMismatch("at:put: needs (pointer, small integer)")
-            self.cycles.memory_instruction()
-            self._note_capture_if_context(value)
-            self._store_through_pointer(
-                Word.pointer(
-                    self.mmu.fmt.from_packed(obj.value)
-                        .step(index.value).packed,
-                    obj.class_tag),
-                value)
-            return False
-        if unit == "machine.as":
-            if not self.regs.ps.privileged:
-                raise ProtectionTrap(
-                    "the as instruction is privileged (capability forging)")
-            value, tag_word = sources[0], sources[1]
-            if not tag_word.is_small_integer:
-                raise TagMismatch("as: needs a small integer tag")
-            tag = Tag(tag_word.value)
-            if tag is Tag.OBJECT_POINTER:
-                retagged = Word.pointer(int(value.value),
-                                        self.object_class.class_tag)
-            else:
-                retagged = Word(tag, value.value)
-            self._write_operand(a, retagged)
-            return False
-        if unit == "machine.fjmp":
-            displacement = self._read_operand(c)
-            if not displacement.is_small_integer:
-                raise TagMismatch("jump displacement must be an integer")
-            if is_true(sources[0]):
-                self.ip = self.ip.step(1 + displacement.value)
-                self.cycles.taken_branch()
-                self._prev_dest = None
-                return True
-            return False
-        if unit == "machine.rjmp":
-            displacement = self._read_operand(c)
-            if not displacement.is_small_integer:
-                raise TagMismatch("jump displacement must be an integer")
-            if is_true(sources[0]):
-                self.ip = self.ip.step(1 - displacement.value)
-                self.cycles.taken_branch()
-                self._prev_dest = None
-                return True
-            return False
-        if unit == "machine.xfer":
-            self._xfer(sources[0])
+        handler = self._machine_units.get(unit)
+        if handler is None:
+            raise TagMismatch(f"unknown machine unit {unit!r}")
+        return handler(inst, sources)
+
+    def _unit_movea(self, inst: Instruction, sources: List[Word]) -> bool:
+        address = self._effective_address(inst.operands[1])
+        self._write_operand(
+            inst.operands[0],
+            Word.pointer(address.packed, self.context_class.class_tag))
+        return False
+
+    def _unit_at(self, inst: Instruction, sources: List[Word]) -> bool:
+        obj, index = sources[0], sources[1]
+        if not obj.is_pointer or not index.is_small_integer:
+            raise TagMismatch("at: needs (pointer, small integer)")
+        self.cycles.memory_instruction()
+        word = self._load_memory_word(
+            self.mmu.fmt.from_packed(obj.value).step(index.value))
+        self._write_operand(inst.operands[0], word)
+        return False
+
+    def _unit_atput(self, inst: Instruction, sources: List[Word]) -> bool:
+        obj, index, value = sources[0], sources[1], sources[2]
+        if not obj.is_pointer or not index.is_small_integer:
+            raise TagMismatch("at:put: needs (pointer, small integer)")
+        self.cycles.memory_instruction()
+        self._note_capture_if_context(value)
+        self._store_through_pointer(
+            Word.pointer(
+                self.mmu.fmt.from_packed(obj.value)
+                    .step(index.value).packed,
+                obj.class_tag),
+            value)
+        return False
+
+    def _unit_as(self, inst: Instruction, sources: List[Word]) -> bool:
+        if not self.regs.ps.privileged:
+            raise ProtectionTrap(
+                "the as instruction is privileged (capability forging)")
+        value, tag_word = sources[0], sources[1]
+        if not tag_word.is_small_integer:
+            raise TagMismatch("as: needs a small integer tag")
+        tag = Tag(tag_word.value)
+        if tag is Tag.OBJECT_POINTER:
+            retagged = Word.pointer(int(value.value),
+                                    self.object_class.class_tag)
+        else:
+            retagged = Word(tag, value.value)
+        self._write_operand(inst.operands[0], retagged)
+        return False
+
+    def _unit_fjmp(self, inst: Instruction, sources: List[Word]) -> bool:
+        displacement = self._read_operand(inst.operands[2])
+        if not displacement.is_small_integer:
+            raise TagMismatch("jump displacement must be an integer")
+        if is_true(sources[0]):
+            self.ip = self.ip.step(1 + displacement.value)
+            self.cycles.taken_branch()
+            self._prev_dest = None
             return True
-        if unit == "machine.new":
-            cls = self._class_from_atom(sources[0])
-            instance = self.heap.allocate(cls, max(cls.instance_size, 1))
-            self._write_result_or_operand(inst, self.heap.pointer_to(instance))
-            return False
-        if unit == "machine.newsize":
-            cls = self._class_from_atom(sources[0])
-            size = sources[1]
-            if not size.is_small_integer or size.value < 0:
-                raise TagMismatch("new: needs a non-negative size")
-            instance = self.heap.allocate(cls, max(size.value, 1))
-            self._write_result_or_operand(inst, self.heap.pointer_to(instance))
-            return False
-        raise TagMismatch(f"unknown machine unit {unit!r}")
+        return False
+
+    def _unit_rjmp(self, inst: Instruction, sources: List[Word]) -> bool:
+        displacement = self._read_operand(inst.operands[2])
+        if not displacement.is_small_integer:
+            raise TagMismatch("jump displacement must be an integer")
+        if is_true(sources[0]):
+            self.ip = self.ip.step(1 - displacement.value)
+            self.cycles.taken_branch()
+            self._prev_dest = None
+            return True
+        return False
+
+    def _unit_xfer(self, inst: Instruction, sources: List[Word]) -> bool:
+        self._xfer(sources[0])
+        return True
+
+    def _unit_new(self, inst: Instruction, sources: List[Word]) -> bool:
+        cls = self._class_from_atom(sources[0])
+        instance = self.heap.allocate(cls, max(cls.instance_size, 1))
+        self._write_result_or_operand(inst, self.heap.pointer_to(instance))
+        return False
+
+    def _unit_newsize(self, inst: Instruction, sources: List[Word]) -> bool:
+        cls = self._class_from_atom(sources[0])
+        size = sources[1]
+        if not size.is_small_integer or size.value < 0:
+            raise TagMismatch("new: needs a non-negative size")
+        instance = self.heap.allocate(cls, max(size.value, 1))
+        self._write_result_or_operand(inst, self.heap.pointer_to(instance))
+        return False
 
     def _class_from_atom(self, word: Word) -> ObjectClass:
         if word.tag is not Tag.ATOM or word.value not in self.registry:
@@ -677,7 +727,7 @@ class COMMachine:
         if word.tag is not Tag.INSTRUCTION:
             raise ProtectionTrap(
                 f"attempt to execute non-instruction word at {self.ip!r}")
-        return Instruction.decode(word.value)
+        return Instruction.decode_cached(word.value)
 
     def _check_raw_hazard(self, inst: Instruction) -> None:
         if self._prev_dest is None or inst.is_zero_operand:
@@ -689,9 +739,41 @@ class COMMachine:
                 break
 
     def step(self) -> None:
-        """Interpret one instruction."""
+        """Interpret one instruction.
+
+        The fast path consults the predecode layer: when the IP falls
+        inside a predecoded method whose code segment still translates
+        to the captured absolute base, :meth:`_step_decoded` executes
+        the instruction's plan with no MMU walk and no word decode.
+        Everything else (predecode disabled, plan shot down, code
+        outside installed methods) takes the seed's decode-every-step
+        path below; both paths produce identical cycles, profile
+        tallies and trace events.
+        """
         if self.halted or self.ip is None:
             raise MachineHalted("machine is halted")
+        if self.predecode:
+            ip = self.ip
+            exponent = ip.exponent
+            mantissa = ip.mantissa
+            method = self.decoded.by_segment.get(
+                (exponent, mantissa >> exponent))
+            if method is not None:
+                base = method.base_absolute
+                descriptor = method.descriptor
+                offset = mantissa & ((1 << exponent) - 1)
+                plans = method.plans
+                # Inline DecodedMethod.is_valid: the captured
+                # translation must still hold (no move, alias or
+                # capability change since predecode).
+                if (descriptor.base == base
+                        and descriptor.forward is None
+                        and descriptor.capability_read
+                        and offset < len(plans)):
+                    plan = plans[offset]
+                    if plan is not None:
+                        self._step_decoded(plan, base + offset)
+                        return
         inst = self._fetch()
         self.cycles.issue()
         self._check_raw_hazard(inst)
@@ -728,6 +810,120 @@ class COMMachine:
                 self._record_dest(inst)
         # A control transfer with the return bit set (jump/xfer/call)
         # is a program error the assembler rejects; the transfer wins.
+
+    def _step_decoded(self, plan, absolute: int) -> None:
+        """Execute one predecoded instruction plan.
+
+        Mirrors the interpretation loop above step for step -- every
+        cycle charge, AccessProfile tally and trace event happens in
+        the same order with the same values (pinned by
+        tests/test_predecode.py).
+        """
+        self._fetch_absolute = absolute
+        cycles = self.cycles
+        if not self.icache.reference(absolute):
+            cycles.icache_miss()
+        profile = self.profile
+        profile.instruction_fetches += 1
+        cycles.issue()
+        prev = self._prev_dest
+        if prev is not None and prev in plan.hazards:
+            cycles.raw_hazard()
+        kind = plan.kind
+        if kind == K_HALT:
+            self.halted = True
+            self.ip = None
+            return
+        cache = self.context_cache
+        sources: List[Word] = []
+        if kind == K_ZERO:
+            if plan.nargs >= 1:
+                profile.context_reads += 1
+                sources.append(cache.read_next(ARG1_SLOT))
+                if plan.nargs >= 2:
+                    profile.context_reads += 1
+                    sources.append(cache.read_next(ARG1_SLOT + 1))
+        else:
+            constants = self.constants
+            for is_constant, is_current, index in plan.sources:
+                if is_constant:
+                    sources.append(constants.get(index))
+                else:
+                    profile.context_reads += 1
+                    sources.append(cache.read_current(index) if is_current
+                                   else cache.read_next(index))
+        count = len(sources)
+        if count == 2:
+            class_tags = (sources[0].class_tag, sources[1].class_tag)
+        elif count == 1:
+            class_tags = (sources[0].class_tag,)
+        elif count == 0:
+            class_tags = ()
+        else:
+            class_tags = tuple(word.class_tag for word in sources)
+        entry = self.itlb.probe_entry(plan.opcode, class_tags)
+        if entry is None:
+            receiver_tag = class_tags[0] if class_tags else \
+                self.object_class.class_tag
+            lookup = self.registry.lookup_by_tag(plan.selector, receiver_tag)
+            entry = ITLBEntry.from_method(lookup.method)
+            self.itlb.fill_entry(plan.opcode, class_tags, entry)
+            cycles.itlb_miss(lookup.probes)
+        if self.trace is not None:
+            receiver = class_tags[0] if class_tags else -1
+            self.trace.append(TraceEvent(absolute, plan.opcode, receiver))
+        inst = plan.inst
+        if entry.primitive:
+            unit = entry.unit
+            handler = self._machine_units.get(unit)
+            try:
+                if handler is not None:
+                    if handler(inst, sources):
+                        return       # control transfer: IP already set
+                else:
+                    result = execute_unit(unit, sources)
+                    dest = plan.dest_kind
+                    if dest == D_CUR:
+                        profile.context_writes += 1
+                        cache.write_current(plan.dest_slot, result)
+                    elif dest == D_ZERO:
+                        profile.context_reads += 1
+                        target = cache.read_next(ARG0_SLOT)
+                        if target.is_pointer:
+                            self._store_through_pointer(target, result)
+                        else:
+                            profile.context_writes += 1
+                            cache.write_next(ARG0_SLOT, result)
+                    elif dest == D_CUR0:
+                        target = cache.read_current(ARG0_SLOT)
+                        if target.is_pointer:
+                            self._store_through_pointer(target, result)
+                        else:
+                            profile.context_writes += 1
+                            cache.write_current(plan.dest_slot, result)
+                    elif dest == D_NEXT:
+                        profile.context_writes += 1
+                        cache.write_next(plan.dest_slot, result)
+                    elif dest == D_SLOW:
+                        self._write_operand(inst.operands[0], result)
+                    # D_NONE (at:put:): no destination.
+            except TagMismatch:
+                # The operand classes had no primitive meaning after
+                # all: take the defined-method path via full lookup.
+                self._dispatch_defined(inst, sources)
+                return
+        else:
+            self._method_call(inst, entry.method, sources)
+            return
+        if plan.returns:
+            self._method_return()
+        elif plan.next_ip is not None:
+            self.ip = plan.next_ip
+            self._prev_dest = plan.dest_prev
+        else:
+            # Fall-through past the segment's last word: raise exactly
+            # as the slow path's ip.step(1) would.
+            self.ip = self.ip.step(1)
 
     def _record_dest(self, inst: Instruction) -> None:
         if inst.is_zero_operand:

@@ -93,9 +93,23 @@ class Operand:
 
     @staticmethod
     def decode(bits: int) -> "Operand":
-        """Unpack from OPERAND_BITS bits."""
+        """Unpack from OPERAND_BITS bits.
+
+        Operands are frozen value objects and the descriptor space is
+        tiny (2**OPERAND_BITS encodings), so decoding returns interned
+        instances from a precomputed table.
+        """
         if not 0 <= bits < (1 << OPERAND_BITS):
             raise EncodingError(f"operand bits {bits:#x} out of range")
+        operand = _DECODE_TABLE[bits]
+        if operand is None:
+            # Invalid encoding (e.g. context offset past the operand-
+            # addressable slots): re-run the checked path for its error.
+            return Operand._decode_bits(bits)
+        return operand
+
+    @staticmethod
+    def _decode_bits(bits: int) -> "Operand":
         if bits & (1 << (OPERAND_BITS - 1)):
             return Operand.constant(bits & (CONSTANT_TABLE_SIZE - 1))
         space = Space.NEXT if bits & (1 << (OPERAND_BITS - 2)) else Space.CURRENT
@@ -123,6 +137,19 @@ class Operand:
             return Operand.next(value)
         return Operand.constant(value)
 
+
+def _build_decode_table():
+    table = []
+    for bits in range(1 << OPERAND_BITS):
+        try:
+            table.append(Operand._decode_bits(bits))
+        except EncodingError:
+            table.append(None)      # invalid encoding: raises on use
+    return tuple(table)
+
+
+#: Interned decode results for every possible descriptor encoding.
+_DECODE_TABLE = _build_decode_table()
 
 #: The descriptor conventionally used for "operand absent".  The COM has
 #: no unused-operand encoding; we reserve current-context slot 0 reads

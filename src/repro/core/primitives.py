@@ -299,8 +299,11 @@ def execute_unit(name: str, operands: List[Word]) -> Word:
         arity, fn = UNITS[name]
     except KeyError:
         raise TagMismatch(f"unknown function unit {name!r}") from None
-    if len(operands) < arity:
+    count = len(operands)
+    if count == arity:
+        return fn(*operands)
+    if count < arity:
         raise TagMismatch(
-            f"unit {name} needs {arity} operands, got {len(operands)}"
+            f"unit {name} needs {arity} operands, got {count}"
         )
     return fn(*operands[:arity])

@@ -15,7 +15,7 @@ identical".  We model it with a compact stack ISA:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.memory.tags import Word
@@ -99,6 +99,9 @@ class CompiledWord:
     class_name: str
     base_address: int
     instructions: List[FithInstruction]
+    #: Predecoded plan tuples, filled lazily by the interpreter
+    #: (``FithMachine._plan_of``); words are immutable once compiled.
+    plan: Optional[list] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)

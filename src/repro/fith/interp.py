@@ -27,11 +27,11 @@ and the class of the top of stack -- the exact record of section 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import DoesNotUnderstandTrap, FithError
-from repro.memory.tags import Tag, Word
+from repro.errors import FithError
+from repro.memory.tags import Tag, Word, fits_small_integer
 from repro.objects.model import ClassRegistry, ObjectClass, PrimitiveMethod
 from repro.core.isa import OpcodeTable
 from repro.fith.code import (
@@ -103,6 +103,11 @@ class FithMachine:
             for op, spelling in MACHINE_OP_SELECTORS.items()
         }
         self._primitives: Dict[str, Callable[["FithMachine"], None]] = {}
+        #: Send-translation memo, the Fith analogue of the COM's ITLB
+        #: ("the instruction translation mechanisms of the two machines
+        #: are identical"): (opcode, receiver tag) -> resolved action.
+        #: Cleared whenever definitions can change (load, define_class).
+        self._send_memo: Dict[Tuple[int, int], tuple] = {}
         self._install_primitives()
 
     # ------------------------------------------------------------------
@@ -111,6 +116,7 @@ class FithMachine:
 
     def define_class(self, name: str, fields: int = 0,
                      superclass: Optional[str] = None) -> ObjectClass:
+        self._send_memo.clear()
         parent = (self.registry.by_name(superclass)
                   if superclass else self.object_class)
         if name in self.registry:
@@ -272,9 +278,14 @@ class FithMachine:
         if token.startswith("#") and len(token) > 1:
             return Word.atom(token[1:])
         try:
-            return Word.small_integer(int(token))
-        except (ValueError, Exception):
+            value = int(token)
+        except ValueError:
             pass
+        else:
+            if not fits_small_integer(value):
+                raise FithError(
+                    f"integer literal {token} out of small-integer range")
+            return Word.small_integer(value)
         try:
             if "." in token:
                 return Word.floating(float(token))
@@ -288,6 +299,7 @@ class FithMachine:
         Definitions are installed as methods; immediate (outside-
         definition) code is collected into an anonymous main word.
         """
+        self._send_memo.clear()
         tokens = self._tokenize(source)
         main_instructions: List[FithInstruction] = []
         main_control: List[Tuple[str, int]] = []
@@ -444,88 +456,124 @@ class FithMachine:
     # execution
     # ------------------------------------------------------------------
 
+    def _plan_of(self, word: CompiledWord) -> list:
+        """Predecode a word's instructions into plan tuples.
+
+        Each entry is ``(code, literal, displacement, selector,
+        trace_opcode, dispatched)``: the integer opcode replaces enum
+        identity chains, and the trace opcode -- which the seed
+        re-derived from the opcode table on every traced step -- is
+        resolved once.  The plan is cached on the word; compiled words
+        are immutable after :meth:`load` returns.
+        """
+        plan = []
+        for inst in word.instructions:
+            op = inst.op
+            dispatched = op is FithOp.SEND
+            trace_opcode = (self.opcodes.number_of(inst.selector)
+                            if dispatched else self._machine_opcode[op])
+            plan.append((_CODE_OF[op], inst.literal, inst.displacement,
+                         inst.selector, trace_opcode, dispatched))
+        word.plan = plan
+        return plan
+
     def run(self, max_steps: int = 5_000_000) -> None:
-        """Execute the main word compiled by :meth:`load`."""
+        """Execute the main word compiled by :meth:`load`.
+
+        The interpreter runs each word's predecoded plan in a tight
+        inner loop with a local program counter; the hottest operations
+        (push, send, branches, dup) are inlined and the rest dispatch
+        through the ``_HANDLERS`` table, replacing the seed's long
+        if/elif ladder.  Trace events, step counts and error messages
+        are identical to the seed interpreter.
+        """
         main = getattr(self, "_main", None)
         if main is None:
             raise FithError("no main code loaded")
         frames: List[_Frame] = [_Frame(main)]
         loops: List[_LoopFrame] = []
-        while frames:
-            if self.steps >= max_steps:
-                raise FithError(f"exceeded step budget {max_steps}")
-            frame = frames[-1]
-            if frame.pc >= len(frame.word.instructions):
-                frames.pop()
-                continue
-            inst = frame.word.instructions[frame.pc]
-            self.steps += 1
-            if self.trace is not None:
-                opcode = (self.opcodes.number_of(inst.selector)
-                          if inst.op is FithOp.SEND
-                          else self._machine_opcode[inst.op])
-                self.trace.append(TraceEvent(
-                    frame.word.base_address + frame.pc,
-                    opcode,
-                    self._tos_class(),
-                    dispatched=inst.op.is_dispatched,
-                ))
-            frame.pc += 1
-            op = inst.op
-            if op is FithOp.PUSH:
-                self.push(inst.literal)
-            elif op is FithOp.DUP:
-                self.push(self.stack[-1]) if self.stack else self.pop()
-            elif op is FithOp.DROP:
-                self.pop()
-            elif op is FithOp.SWAP:
-                b, a = self.pop(), self.pop()
-                self.push(b)
-                self.push(a)
-            elif op is FithOp.OVER:
-                if len(self.stack) < 2:
-                    raise FithError("over on short stack")
-                self.push(self.stack[-2])
-            elif op is FithOp.ROT:
-                c, b, a = self.pop(), self.pop(), self.pop()
-                self.push(b)
-                self.push(c)
-                self.push(a)
-            elif op is FithOp.BRANCH:
-                frame.pc += inst.displacement
-            elif op is FithOp.BRANCH_IF_FALSE:
-                if not _is_true(self.pop()):
-                    frame.pc += inst.displacement
-            elif op is FithOp.DO:
-                start = self.pop_int()
-                limit = self.pop_int()
-                loops.append(_LoopFrame(start, limit))
-            elif op is FithOp.LOOP:
-                if not loops:
-                    raise FithError("loop without do")
-                loop = loops[-1]
-                loop.index += 1
-                if loop.index < loop.limit:
-                    # Branch back to the instruction after the DO.
-                    frame.pc += inst.displacement
+        stack = self.stack
+        registry = self.registry
+        primitives = self._primitives
+        send_memo = self._send_memo
+        trace = self.trace
+        handlers = _HANDLERS
+        object_tag = self.object_class.class_tag
+        steps = self.steps
+        try:
+            while frames:
+                if steps >= max_steps:
+                    raise FithError(f"exceeded step budget {max_steps}")
+                frame = frames[-1]
+                word = frame.word
+                plan = word.plan
+                if plan is None:
+                    plan = self._plan_of(word)
+                base = word.base_address
+                pc = frame.pc
+                limit = len(plan)
+                while pc < limit:
+                    if steps >= max_steps:
+                        raise FithError(
+                            f"exceeded step budget {max_steps}")
+                    entry = plan[pc]
+                    steps += 1
+                    if trace is not None:
+                        trace.append(TraceEvent(
+                            base + pc, entry[4],
+                            stack[-1].class_tag if stack else -1,
+                            dispatched=entry[5]))
+                    pc += 1
+                    code = entry[0]
+                    if code == _PUSH:
+                        stack.append(entry[1])
+                    elif code == _SEND:
+                        receiver_tag = (stack[-1].class_tag if stack
+                                        else object_tag)
+                        key = (entry[4], receiver_tag)
+                        action = send_memo.get(key)
+                        if action is None:
+                            method = registry.lookup_by_tag(
+                                entry[3], receiver_tag).method
+                            if isinstance(method, PrimitiveMethod):
+                                action = (primitives[method.unit], None)
+                            else:
+                                action = (None, method.code)
+                            send_memo[key] = action
+                        handler, callee = action
+                        if handler is not None:
+                            handler(self)
+                        else:
+                            frame.pc = pc
+                            frames.append(_Frame(callee))
+                            break
+                    elif code == _BRANCH_IF_FALSE:
+                        try:
+                            top = stack.pop()
+                        except IndexError:
+                            raise FithError("stack underflow") from None
+                        if not _is_true(top):
+                            pc += entry[2]
+                    elif code == _DUP:
+                        if not stack:
+                            raise FithError("dup on empty stack")
+                        stack.append(stack[-1])
+                    elif code == _BRANCH:
+                        pc += entry[2]
+                    elif code == _RETURN or code == _EXIT:
+                        frames.pop()
+                        break
+                    elif code == _HALT:
+                        frames.clear()
+                        break
+                    else:
+                        pc = handlers[code](self, entry, pc, stack, loops)
                 else:
-                    loops.pop()
-            elif op is FithOp.LOOP_I:
-                if not loops:
-                    raise FithError("i outside a do loop")
-                self.push(Word.small_integer(loops[-1].index))
-            elif op is FithOp.LOOP_J:
-                if len(loops) < 2:
-                    raise FithError("j needs two nested do loops")
-                self.push(Word.small_integer(loops[-2].index))
-            elif op in (FithOp.RETURN, FithOp.EXIT):
-                frames.pop()
-            elif op is FithOp.HALT:
-                frames.clear()
-            elif op is FithOp.SEND:
-                self._send(inst.selector, frames)
-            else:  # pragma: no cover
-                raise FithError(f"unhandled op {op}")
+                    # Ran off the end of the word with no explicit
+                    # return: the frame simply pops.
+                    frames.pop()
+        finally:
+            self.steps = steps
 
     def _send(self, selector: str, frames: List[_Frame]) -> None:
         # With an empty stack there is no receiver class; dispatch falls
@@ -548,6 +596,113 @@ class FithMachine:
     def result(self) -> Optional[Word]:
         """Top of stack after a run (None when empty)."""
         return self.stack[-1] if self.stack else None
+
+
+# ----------------------------------------------------------------------
+# interpreter dispatch table
+# ----------------------------------------------------------------------
+
+#: Dense integer opcodes for the plan tuples (see FithMachine._plan_of).
+(_PUSH, _DUP, _DROP, _SWAP, _OVER, _ROT, _BRANCH, _BRANCH_IF_FALSE,
+ _DO, _LOOP, _LOOP_I, _LOOP_J, _RETURN, _EXIT, _SEND, _HALT) = range(16)
+
+_CODE_OF = {
+    FithOp.PUSH: _PUSH, FithOp.DUP: _DUP, FithOp.DROP: _DROP,
+    FithOp.SWAP: _SWAP, FithOp.OVER: _OVER, FithOp.ROT: _ROT,
+    FithOp.BRANCH: _BRANCH, FithOp.BRANCH_IF_FALSE: _BRANCH_IF_FALSE,
+    FithOp.DO: _DO, FithOp.LOOP: _LOOP, FithOp.LOOP_I: _LOOP_I,
+    FithOp.LOOP_J: _LOOP_J, FithOp.RETURN: _RETURN, FithOp.EXIT: _EXIT,
+    FithOp.SEND: _SEND, FithOp.HALT: _HALT,
+}
+
+
+def _op_drop(machine, entry, pc, stack, loops):
+    try:
+        stack.pop()
+    except IndexError:
+        raise FithError("stack underflow") from None
+    return pc
+
+
+def _op_swap(machine, entry, pc, stack, loops):
+    b = machine.pop()
+    a = machine.pop()
+    stack.append(b)
+    stack.append(a)
+    return pc
+
+
+def _op_over(machine, entry, pc, stack, loops):
+    if len(stack) < 2:
+        raise FithError("over on short stack")
+    stack.append(stack[-2])
+    return pc
+
+
+def _op_rot(machine, entry, pc, stack, loops):
+    c = machine.pop()
+    b = machine.pop()
+    a = machine.pop()
+    stack.append(b)
+    stack.append(c)
+    stack.append(a)
+    return pc
+
+
+def _op_do(machine, entry, pc, stack, loops):
+    start = machine.pop_int()
+    limit = machine.pop_int()
+    loops.append(_LoopFrame(start, limit))
+    return pc
+
+
+def _op_loop(machine, entry, pc, stack, loops):
+    if not loops:
+        raise FithError("loop without do")
+    loop = loops[-1]
+    loop.index += 1
+    if loop.index < loop.limit:
+        # Branch back to the instruction after the DO.
+        return pc + entry[2]
+    loops.pop()
+    return pc
+
+
+def _op_loop_i(machine, entry, pc, stack, loops):
+    if not loops:
+        raise FithError("i outside a do loop")
+    stack.append(Word.small_integer(loops[-1].index))
+    return pc
+
+
+def _op_loop_j(machine, entry, pc, stack, loops):
+    if len(loops) < 2:
+        raise FithError("j needs two nested do loops")
+    stack.append(Word.small_integer(loops[-2].index))
+    return pc
+
+
+#: Handlers for the ops the run loop does not inline, indexed by the
+#: integer opcode.  ``None`` marks ops handled inline (or that end the
+#: inner loop) and is never reached through the table.
+_HANDLERS = [
+    None,          # PUSH (inline)
+    None,          # DUP (inline)
+    _op_drop,
+    _op_swap,
+    _op_over,
+    _op_rot,
+    None,          # BRANCH (inline)
+    None,          # BRANCH_IF_FALSE (inline)
+    _op_do,
+    _op_loop,
+    _op_loop_i,
+    _op_loop_j,
+    None,          # RETURN (inline)
+    None,          # EXIT (inline)
+    None,          # SEND (inline)
+    None,          # HALT (inline)
+]
 
 
 def _pop_control(control: List[Tuple[str, int]], expected: str,

@@ -120,6 +120,23 @@ class AbsoluteMemory:
         self._allocations: Dict[int, Allocation] = {}
         self.reads = 0
         self.writes = 0
+        self._write_watcher = None
+        self._free_watcher = None
+
+    # -- watchers -----------------------------------------------------------
+
+    def watch_writes(self, callback) -> None:
+        """Invoke ``callback(address)`` after every word write.
+
+        Used by the machine's predecode layer to shoot down decoded
+        instruction plans when code memory is overwritten (the software
+        analogue of hardware icache coherence on stores).
+        """
+        self._write_watcher = callback
+
+    def watch_frees(self, callback) -> None:
+        """Invoke ``callback(base, block_size)`` when a block is freed."""
+        self._free_watcher = callback
 
     # -- allocation ---------------------------------------------------------
 
@@ -138,6 +155,8 @@ class AbsoluteMemory:
         for addr in range(base, base + allocation.block_size):
             self._words.pop(addr, None)
         self.allocator.free(base)
+        if self._free_watcher is not None:
+            self._free_watcher(base, allocation.block_size)
 
     def grow(self, base: int, new_size: int) -> Allocation:
         """Grow an allocation, copying words when the block must move.
@@ -175,6 +194,8 @@ class AbsoluteMemory:
             raise InvalidAddress(f"absolute memory stores Words, got {word!r}")
         self.writes += 1
         self._words[address] = word
+        if self._write_watcher is not None:
+            self._write_watcher(address)
 
     def read_block(self, base: int, count: int) -> List[Word]:
         """Read ``count`` consecutive words (one stats bump per word)."""

@@ -69,6 +69,9 @@ class AddressFormat:
             raise InvalidAddress(f"no mantissa fits in {self.total_bits} bits")
         object.__setattr__(self, "_mantissa_bits", m)
         object.__setattr__(self, "_exponent_bits", self.total_bits - m)
+        object.__setattr__(
+            self, "_max_exponent",
+            min(m, (1 << (self.total_bits - m)) - 1))
 
     @property
     def mantissa_bits(self) -> int:
@@ -87,9 +90,10 @@ class AddressFormat:
         At most the full mantissa becomes the offset (E = m), clipped
         to what the exponent field can actually express -- the clip
         only bites when m is an exact power of two, which the paper's
-        16- and 36-bit formats avoid.
+        16- and 36-bit formats avoid.  Precomputed: address arithmetic
+        checks it on every construction.
         """
-        return min(self.mantissa_bits, (1 << self.exponent_bits) - 1)
+        return self._max_exponent
 
     @property
     def max_segment_words(self) -> int:
@@ -130,9 +134,9 @@ class AddressFormat:
         return exponent, mantissa
 
     def _check_exponent(self, exponent: int) -> None:
-        if not 0 <= exponent <= self.max_exponent:
+        if not 0 <= exponent <= self._max_exponent:
             raise InvalidAddress(
-                f"exponent {exponent} out of range [0, {self.max_exponent}]"
+                f"exponent {exponent} out of range [0, {self._max_exponent}]"
             )
 
     # -- address construction --------------------------------------------
@@ -155,7 +159,7 @@ class AddressFormat:
     def from_packed(self, packed: int) -> "FPAddress":
         """Decode a packed integer into an :class:`FPAddress`."""
         exponent, mantissa = self.unpack(packed)
-        return FPAddress(self, exponent, mantissa)
+        return _make_address(self, exponent, mantissa)
 
     def exponent_for_size(self, size_words: int) -> int:
         """Smallest exponent whose offset range covers ``size_words``."""
@@ -250,17 +254,23 @@ class FPAddress:
 
     @property
     def packed(self) -> int:
-        """The packed integer form of the whole address."""
-        return self.fmt.pack(self.exponent, self.mantissa)
+        """The packed integer form of the whole address.
+
+        Fields were validated at construction, so this packs directly
+        (``AddressFormat.pack`` re-validates; pointer materialisation
+        is too hot for that).
+        """
+        return (self.exponent << self.fmt._mantissa_bits) | self.mantissa
 
     def with_offset(self, offset: int) -> "FPAddress":
         """Same segment, different offset; offset must be within span."""
-        if not 0 <= offset < self.span:
+        exponent = self.exponent
+        if not 0 <= offset < (1 << exponent):
             raise InvalidAddress(
                 f"offset {offset} outside span {self.span} of {self!r}"
             )
-        mantissa = (self.segment_field << self.exponent) | offset
-        return FPAddress(self.fmt, self.exponent, mantissa)
+        mantissa = (self.mantissa >> exponent << exponent) | offset
+        return _make_address(self.fmt, exponent, mantissa)
 
     def step(self, delta: int) -> "FPAddress":
         """Move the offset by ``delta`` words (may raise on overflow)."""
@@ -275,6 +285,22 @@ class FPAddress:
             f"FPA({self.fmt.total_bits}b E={self.exponent} "
             f"seg={self.segment_field:#x} off={self.offset:#x})"
         )
+
+
+def _make_address(fmt: AddressFormat, exponent: int,
+                  mantissa: int) -> FPAddress:
+    """Trusted FPAddress constructor for already-validated fields.
+
+    Address arithmetic (IP stepping, pointer chasing) constructs tens
+    of addresses per interpreted instruction; skipping the dataclass
+    __init__/__post_init__ re-validation there is a measurable win.
+    Only call with fields known to satisfy the format's invariants.
+    """
+    address = object.__new__(FPAddress)
+    object.__setattr__(address, "fmt", fmt)
+    object.__setattr__(address, "exponent", exponent)
+    object.__setattr__(address, "mantissa", mantissa)
+    return address
 
 
 def multics_style_capacity(total_bits: int) -> Tuple[int, int]:

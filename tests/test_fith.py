@@ -38,6 +38,10 @@ class TestStackOps:
         with pytest.raises(FithError):
             run_fith("drop")
 
+    def test_dup_on_empty_stack(self):
+        with pytest.raises(FithError, match="dup on empty stack"):
+            run_fith("dup")
+
     def test_literals(self):
         machine = run_fith("1.5 . #foo . true . nil .")
         assert outputs(machine) == [1.5, "foo", "true", "nil"]

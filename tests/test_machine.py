@@ -257,6 +257,43 @@ class TestMethodCalls:
             assembler.assemble_lines(["ret 2"]), argument_count=1)
         assert machine.run_program(main).value == 2
 
+    def test_redefinition_invalidates_decoded_plans(self):
+        """install_method shoots down ITLB entries *and* decoded plans.
+
+        The predecode layer caches per-method instruction plans; a
+        redefined selector must drop the replaced method's plans just
+        like its ITLB entries, and old callers -- whose object code
+        never changes -- must execute the new method.
+        """
+        machine = COMMachine()
+        main = load_program(machine, """
+        method SmallInteger >> answer args=1
+            ret 1
+        main
+            c2 = 5 answer 0
+            c0 = c2
+            halt
+        """)
+        assert machine.run_program(main).value == 1
+        integer = machine.registry.by_name("SmallInteger")
+        old_key = machine.method_for(
+            integer, "answer").code_address.segment_name
+        assert old_key in machine.decoded.by_segment
+        itlb_invalidations = machine.itlb.stats.invalidations
+        plan_invalidations = machine.decoded.invalidations
+        from repro.core.assembler import Assembler
+        assembler = Assembler(machine.opcodes, machine.constants)
+        machine.install_method(
+            integer, "answer",
+            assembler.assemble_lines(["ret 2"]), argument_count=1)
+        assert machine.itlb.stats.invalidations > itlb_invalidations
+        assert machine.decoded.invalidations > plan_invalidations
+        assert old_key not in machine.decoded.by_segment
+        new_key = machine.method_for(
+            integer, "answer").code_address.segment_name
+        assert new_key in machine.decoded.by_segment
+        assert machine.run_program(main).value == 2
+
 
 class TestMemoryInstructions:
     def test_at_atput(self):
