@@ -5,8 +5,7 @@ simulator, but slow for benchmarks" -- these benches quantify the
 simulator's speed so users can size their workloads.
 """
 
-from repro.core.machine import COMMachine
-from repro.fith.interp import FithMachine
+from repro.config import make_com, make_fith
 from repro.fith.programs import fib as fith_fib
 from repro.smalltalk import compile_program
 
@@ -20,7 +19,7 @@ main
 
 
 def test_com_instructions_per_second(benchmark):
-    machine = COMMachine()
+    machine = make_com()
     main = compile_program(machine, _FIB)
 
     def run():
@@ -35,7 +34,7 @@ def test_fith_steps_per_second(benchmark):
     source = fith_fib(scale=4)
 
     def run():
-        machine = FithMachine()
+        machine = make_fith()
         machine.run_source(source, max_steps=20_000_000)
         return machine.steps
 
@@ -45,7 +44,7 @@ def test_fith_steps_per_second(benchmark):
 
 def test_smalltalk_compile_speed(benchmark):
     def compile_once():
-        machine = COMMachine()
+        machine = make_com()
         return compile_program(machine, _FIB)
 
     main = benchmark(compile_once)

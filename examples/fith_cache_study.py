@@ -8,7 +8,7 @@ instruction-cache models across the paper's size sweep.
 Run:  python examples/fith_cache_study.py
 """
 
-from repro.fith.interp import FithMachine
+from repro import make_fith
 from repro.trace.cachesim import ascii_plot, sweep_icache, sweep_itlb
 
 PROGRAM = """
@@ -41,7 +41,7 @@ total .
 
 
 def main() -> None:
-    machine = FithMachine(trace=True)
+    machine = make_fith(trace=True)
     machine.run_source(PROGRAM, max_steps=10_000_000)
     print(f"total work units: {machine.output[0].value}")
     events = machine.trace

@@ -35,6 +35,7 @@ Quickstart::
     print(machine.cycles.snapshot())
 """
 
+from repro.config import DEFAULT_CONFIG, SimConfig, make_com, make_fith
 from repro.core.assembler import Assembler, load_program
 from repro.core.encoding import Instruction
 from repro.core.isa import Op, OpcodeTable
@@ -45,7 +46,7 @@ from repro.memory.fpa import AddressFormat, FPAddress, address_format
 from repro.memory.mmu import MMU
 from repro.memory.tags import Tag, Word
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Assembler",
@@ -53,17 +54,21 @@ __all__ = [
     "COMMachine",
     "CompiledMethod",
     "CycleParams",
+    "DEFAULT_CONFIG",
     "FPAddress",
     "Instruction",
     "MMU",
     "Op",
     "OpcodeTable",
     "Operand",
+    "SimConfig",
     "Tag",
     "TraceEvent",
     "Word",
     "address_format",
     "load_program",
+    "make_com",
+    "make_fith",
     "pipeline_diagram",
     "__version__",
 ]

@@ -1,0 +1,202 @@
+"""The ``repro`` command line interface (``python -m repro``).
+
+Subcommands::
+
+    repro run    [--quick] [--jobs N] [--only/--skip IDs] [--list] ...
+                 run the experiment suite (the registry-driven harness)
+    repro list   list registered workloads and experiments
+    repro trace  NAME [--set k=v ...] [--force]
+                 materialize one workload into the trace store
+    repro bench  [pytest args ...]
+                 run the benchmark suite (pytest-benchmark)
+
+Installed as the ``repro`` console script (see pyproject.toml); also
+reachable as ``python -m repro`` from a source checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _parse_override(text: str):
+    """``k=v`` -> (k, v) with ints/floats/bools decoded."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    for kind in (int, float):
+        try:
+            return key, kind(raw)
+        except ValueError:
+            pass
+    return key, raw
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import harness
+    return harness.run_from_args(args)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import harness
+    from repro.workloads import specs
+    from repro.workloads.store import TraceStore
+
+    show_workloads = args.workloads or not args.experiments
+    show_experiments = args.experiments or not args.workloads
+    if show_workloads:
+        store = TraceStore(args.trace_dir)
+        cached = store.cached_names()
+        print("workloads (scenario registry):")
+        width = max(len(spec.name) for spec in specs()) + 2
+        for spec in specs():
+            entries = cached.get(spec.name, 0)
+            suffix = (f"  [cached: {entries} parameterization"
+                      f"{'s' if entries != 1 else ''}]" if entries else "")
+            print(f"  {spec.name:<{width}}v{spec.version}  "
+                  f"{spec.description}{suffix}")
+        print(f"\ntrace store: {store.root}")
+    if show_workloads and show_experiments:
+        print()
+    if show_experiments:
+        print("experiments (claim registry):")
+        harness.list_experiments()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads import get
+    from repro.workloads.store import TraceStore
+
+    spec = get(args.name)
+    store = TraceStore(args.trace_dir)
+    overrides = dict(args.set or [])
+    params = spec.resolve(quick=args.quick, scale=args.scale,
+                          overrides=overrides)
+    path = store.path_for(spec, params)
+    if args.force and path.exists():
+        path.unlink()
+    path, hit = store.ensure(spec, quick=args.quick, scale=args.scale,
+                             **overrides)
+    events = store.load(spec, quick=args.quick, scale=args.scale,
+                        **overrides)
+    dispatched = [e for e in events if e.dispatched]
+    print(f"workload:   {spec.name} (generator v{spec.version})")
+    print(f"params:     {params}")
+    print(f"state:      {'cache hit' if hit else 'generated'}")
+    print(f"trace:      {len(events)} events, {len(dispatched)} "
+          f"dispatched")
+    print(f"keys:       {len({e.itlb_key for e in dispatched})} distinct "
+          f"ITLB keys, {len({e.address for e in events})} distinct "
+          f"addresses")
+    print(f"store path: {path}")
+    return 0
+
+
+_BENCH_HELP = """\
+usage: repro bench [pytest args ...]
+
+Run the benchmark suite (pytest-benchmark).  All arguments are
+forwarded to pytest verbatim; the benchmarks/ directory under the
+current working directory is targeted unless an explicit file or
+directory path is given.
+
+examples:
+  repro bench
+  repro bench -k fith --benchmark-only
+  repro bench benchmarks/test_bench_fig10.py -q
+"""
+
+
+def _cmd_bench(extra: List[str]) -> int:
+    import subprocess
+
+    if extra and extra[0] in ("-h", "--help"):
+        print(_BENCH_HELP, end="")
+        return 0
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    command = [sys.executable, "-m", "pytest"]
+    # Default target is benchmarks/; an explicit *existing* path
+    # argument replaces it (`repro bench benchmarks/foo.py`), while
+    # option values like `-k fith` do not.
+    explicit_path = any(not part.startswith("-") and Path(part).exists()
+                        for part in extra)
+    if not explicit_path:
+        bench_dir = Path.cwd() / "benchmarks"
+        if not bench_dir.is_dir():
+            print("error: no benchmarks/ directory under the current "
+                  "working directory; run from a source checkout",
+                  file=sys.stderr)
+            return 2
+        command.append(str(bench_dir))
+    command += extra
+    return subprocess.call(command)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.experiments import harness
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Dally & Kajiya, 'An Object "
+                    "Oriented Architecture' (ISCA 1985)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run the experiment suite")
+    harness.add_run_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered workloads and experiments")
+    list_parser.add_argument("--workloads", action="store_true",
+                             help="only the workload registry")
+    list_parser.add_argument("--experiments", action="store_true",
+                             help="only the experiment registry")
+    list_parser.add_argument("--trace-dir", type=str, default=None)
+    list_parser.set_defaults(func=_cmd_list)
+
+    trace_parser = commands.add_parser(
+        "trace", help="materialize one workload into the trace store")
+    trace_parser.add_argument("name", help="registered workload name")
+    trace_parser.add_argument("--scale", type=int, default=None)
+    trace_parser.add_argument("--quick", action="store_true")
+    trace_parser.add_argument("--force", action="store_true",
+                              help="regenerate even on a cache hit")
+    trace_parser.add_argument("--set", action="append",
+                              type=_parse_override, metavar="KEY=VALUE",
+                              help="override a generator parameter")
+    trace_parser.add_argument("--trace-dir", type=str, default=None)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    # bench is dispatched before argparse (see main): REMAINDER cannot
+    # forward leading pytest flags like `-k`.  Registered here only so
+    # it appears in `repro --help`.
+    commands.add_parser(
+        "bench", add_help=False,
+        help="run the benchmark suite (pytest-benchmark); all "
+             "arguments are forwarded to pytest")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # `repro bench -k fith`: everything after `bench` goes to pytest
+    # verbatim, which argparse.REMAINDER cannot express for leading
+    # options.
+    if arguments and arguments[0] == "bench":
+        return _cmd_bench(arguments[1:])
+    args = build_parser().parse_args(arguments)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,9 +12,14 @@ TAB-ADDR    floating vs fixed addressing       (:mod:`.addr_compare`)
 TAB-3ADDR   stack vs three-address counts      (:mod:`.stack_vs_3addr`)
 ==========  ======================================================
 
-``python -m repro.experiments.harness`` runs everything.
+Every module registers an :class:`~repro.experiments.registry
+.ExperimentSpec`; ``python -m repro run`` (or ``python -m
+repro.experiments.harness``) drives the registry, with
+``--only/--skip/--list`` selection and ``--jobs N`` parallelism.
 """
 
 from repro.experiments.common import ClaimCheck, ExperimentResult
+from repro.experiments.registry import ExperimentSpec, RunContext
 
-__all__ = ["ClaimCheck", "ExperimentResult"]
+__all__ = ["ClaimCheck", "ExperimentResult", "ExperimentSpec",
+           "RunContext"]

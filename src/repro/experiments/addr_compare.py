@@ -18,6 +18,7 @@ Claims reproduced analytically and by simulation:
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.memory.fpa import (
     address_format,
     floating_capacity,
@@ -117,6 +118,21 @@ def run(fmt_bits: int = 36) -> ExperimentResult:
     result.data = dict(sim, floating_names=floating_names,
                        multics_names=multics_names)
     return result
+
+
+def _run(ctx) -> ExperimentResult:
+    return run()
+
+
+register(ExperimentSpec(
+    id="TAB-ADDR",
+    figure="section 2.2",
+    order=60,
+    title="floating point vs MULTICS-style addressing",
+    description="name-space capacity of the two 36-bit formats plus "
+                "the paper's 16-bit worked example",
+    runner=_run,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,16 +25,18 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.config import make_com
 from repro.core.encoding import Instruction
 from repro.core.isa import Op
 from repro.core.machine import COMMachine
 from repro.core.operands import Operand
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.memory.tags import Word
 
 
 def _build_machine() -> COMMachine:
-    return COMMachine()
+    return make_com()
 
 
 def _run_cycles(machine: COMMachine, main, warm_runs: int = 1) -> dict:
@@ -163,6 +165,21 @@ def run(calls: int = 200) -> ExperimentResult:
         "snapshots": {"base": base, "zero": zero, "three": three},
     }
     return result
+
+
+def _run(ctx) -> ExperimentResult:
+    return run(50 if ctx.quick else 200)
+
+
+register(ExperimentSpec(
+    id="TAB-CALL",
+    figure="section 3.6",
+    order=30,
+    title="method call / return cycle costs",
+    description="microprogram cycle deltas on the pipeline cost model "
+                "with warm caches",
+    runner=_run,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,8 +14,10 @@ Claims reproduced:
 
 from __future__ import annotations
 
+from repro.config import make_com
 from repro.core.machine import COMMachine
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.smalltalk import compile_program
 
 _PROGRAM = """
@@ -30,7 +32,7 @@ main | d |
 
 
 def _run_depth(depth: int) -> COMMachine:
-    machine = COMMachine()
+    machine = make_com()
     main = compile_program(machine, _PROGRAM.format(depth=depth))
     machine.run_program(main, max_instructions=5_000_000)
     return machine
@@ -92,6 +94,21 @@ def run(shallow_depth: int = 25, deep_depth: int = 200) -> ExperimentResult:
         "deep": {"faults": d_stats.faults, "copybacks": d_stats.copybacks},
     }
     return result
+
+
+def _run(ctx) -> ExperimentResult:
+    return run()
+
+
+register(ExperimentSpec(
+    id="TAB-CCACHE",
+    figure="section 2.3",
+    order=50,
+    title="context cache vs nesting depth",
+    description="linear recursion at two depths on the 32-block "
+                "context cache with copy-back",
+    runner=_run,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

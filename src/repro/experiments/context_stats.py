@@ -17,9 +17,11 @@ and the machine's own counters are compared against those figures.
 
 from __future__ import annotations
 
+from repro.config import make_com
 from repro.core.assembler import Assembler
 from repro.core.machine import COMMachine
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.smalltalk import compile_program
 
 #: The measurement workload.  fib supplies deep LIFO recursion; Point
@@ -73,7 +75,7 @@ ret c1
 
 
 def build_machine() -> COMMachine:
-    machine = COMMachine()
+    machine = make_com()
     main = compile_program(machine, WORKLOAD)
     assembler = Assembler(machine.opcodes, machine.constants)
     machine.install_method(
@@ -161,6 +163,21 @@ def run(max_instructions: int = 2_000_000) -> ExperimentResult:
         "other_allocations": other_allocs,
     }
     return result
+
+
+def _run(ctx) -> ExperimentResult:
+    return run()
+
+
+register(ExperimentSpec(
+    id="TAB-CTX",
+    figure="section 2.3",
+    order=40,
+    title="context allocation / reference statistics",
+    description="mixed Smalltalk workload measured by the machine's "
+                "own allocation and reference counters",
+    runner=_run,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

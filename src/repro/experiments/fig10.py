@@ -18,10 +18,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.trace.cachesim import (
     PAPER_ASSOCIATIVITIES,
     PAPER_SIZES,
+    SweepResult,
     ascii_plot,
+    simulate_itlb,
     sweep_itlb,
 )
 from repro.trace.events import TraceEvent
@@ -31,11 +34,19 @@ from repro.trace.workloads import paper_trace
 def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
-        plot: bool = True) -> ExperimentResult:
-    """Regenerate figure 10 and check its claims."""
+        plot: bool = True,
+        sweep: Optional[SweepResult] = None) -> ExperimentResult:
+    """Regenerate figure 10 and check its claims.
+
+    ``sweep`` short-circuits the grid simulation with precomputed
+    ratios (the parallel harness computes shards in worker processes
+    and merges here); claims are always re-checked against it.
+    """
     if events is None:
         events = paper_trace(scale)
-    sweep = sweep_itlb(events, sizes, associativities, double_pass=True)
+    if sweep is None:
+        sweep = sweep_itlb(events, sizes, associativities,
+                           double_pass=True)
     result = ExperimentResult(
         "FIG-10 ITLB hit ratio vs cache size",
         "Fith corpus + polymorphic workload traces replayed against the "
@@ -87,6 +98,41 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
     )
     result.data["ratio_512_2w"] = ratio_512_2w
     return result
+
+
+# -- registry wiring ---------------------------------------------------
+
+def _run(ctx) -> ExperimentResult:
+    return run(ctx.scale, events=ctx.events("paper"))
+
+
+def _run_shard(ctx, associativity) -> dict:
+    """One associativity's column of the figure-10 grid."""
+    events = ctx.events("paper")
+    return {size: simulate_itlb(events, size, associativity,
+                                double_pass=True).hit_ratio
+            for size in PAPER_SIZES}
+
+
+def _merge(ctx, payloads: dict) -> ExperimentResult:
+    sweep = SweepResult("ITLB", PAPER_SIZES, PAPER_ASSOCIATIVITIES,
+                        {a: payloads[a] for a in PAPER_ASSOCIATIVITIES})
+    return run(ctx.scale, events=ctx.events("paper"), sweep=sweep)
+
+
+register(ExperimentSpec(
+    id="FIG-10",
+    figure="figure 10",
+    order=10,
+    title="ITLB hit ratio vs cache size",
+    description="ITLB size/associativity sweep over the section-5 "
+                "measurement trace",
+    runner=_run,
+    workloads=("paper",),
+    shards=PAPER_ASSOCIATIVITIES,
+    shard_runner=_run_shard,
+    merger=_merge,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,10 +11,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.trace.cachesim import (
     PAPER_ASSOCIATIVITIES,
     PAPER_SIZES,
+    SweepResult,
     ascii_plot,
+    simulate_icache,
     sweep_icache,
 )
 from repro.trace.events import TraceEvent
@@ -24,11 +27,18 @@ from repro.trace.workloads import paper_trace
 def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
-        plot: bool = True) -> ExperimentResult:
-    """Regenerate figure 11 and check its claims."""
+        plot: bool = True,
+        sweep: Optional[SweepResult] = None) -> ExperimentResult:
+    """Regenerate figure 11 and check its claims.
+
+    ``sweep`` accepts a precomputed grid (see :mod:`.fig10`); the
+    claims are re-checked against it either way.
+    """
     if events is None:
         events = paper_trace(scale)
-    sweep = sweep_icache(events, sizes, associativities, double_pass=True)
+    if sweep is None:
+        sweep = sweep_icache(events, sizes, associativities,
+                             double_pass=True)
     result = ExperimentResult(
         "FIG-11 instruction cache hit ratio vs cache size",
         "The same traces' instruction-address stream replayed against "
@@ -79,6 +89,42 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         "ratio_2048_2w": r_2048_2w,
     })
     return result
+
+
+# -- registry wiring ---------------------------------------------------
+
+def _run(ctx) -> ExperimentResult:
+    return run(ctx.scale, events=ctx.events("paper"))
+
+
+def _run_shard(ctx, associativity) -> dict:
+    """One associativity's column of the figure-11 grid."""
+    events = ctx.events("paper")
+    return {size: simulate_icache(events, size, associativity,
+                                  double_pass=True).hit_ratio
+            for size in PAPER_SIZES}
+
+
+def _merge(ctx, payloads: dict) -> ExperimentResult:
+    sweep = SweepResult("instruction cache", PAPER_SIZES,
+                        PAPER_ASSOCIATIVITIES,
+                        {a: payloads[a] for a in PAPER_ASSOCIATIVITIES})
+    return run(ctx.scale, events=ctx.events("paper"), sweep=sweep)
+
+
+register(ExperimentSpec(
+    id="FIG-11",
+    figure="figure 11",
+    order=20,
+    title="instruction cache hit ratio vs cache size",
+    description="instruction-cache size/associativity sweep over the "
+                "section-5 measurement trace",
+    runner=_run,
+    workloads=("paper",),
+    shards=PAPER_ASSOCIATIVITIES,
+    shard_runner=_run_shard,
+    merger=_merge,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,12 +1,27 @@
-"""Run-everything driver: regenerates every figure and claim table.
+"""Registry-driven driver: regenerates every figure and claim table.
 
 Usage::
 
     python -m repro.experiments.harness [--scale N] [--quick]
+        [--jobs N] [--only ID[,ID...]] [--skip ID[,ID...]] [--list]
+        [--trace-dir DIR]
 
-Prints each experiment's table and claim verdicts, ending with a
-summary grid.  ``--quick`` shrinks the trace-driven experiments for
-smoke runs.
+(``python -m repro run`` is the same engine behind the package CLI.)
+
+The suite comes from the experiment registry
+(:mod:`repro.experiments.registry`): each experiment module registers
+an :class:`~repro.experiments.registry.ExperimentSpec`, and the
+harness selects, orders and executes specs instead of hard-wiring
+module calls.  Workload traces are pre-materialized once into the
+on-disk trace store (:mod:`repro.workloads.store`) -- a second run
+loads them without re-executing the Fith interpreter.
+
+``--jobs N`` executes the suite in a ``ProcessPoolExecutor``.
+Sweep-shaped experiments (FIG-10/FIG-11) additionally split into one
+task per associativity, so the pool stays busy even though FIG-11
+alone is over half the serial wall-clock.  Workers share nothing but
+the immutable trace files: every machine is rebuilt per process, so
+per-experiment state stays isolated.
 """
 
 from __future__ import annotations
@@ -14,58 +29,120 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import (
-    addr_compare,
-    call_cost,
-    context_cache,
-    context_stats,
-    fig10,
-    fig11,
-    stack_vs_3addr,
-)
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult
-from repro.trace.workloads import paper_trace
+from repro.experiments.registry import ExperimentSpec, RunContext
 
 
-def run_all(scale: int = 1, quick: bool = False,
-            stream=None) -> List[ExperimentResult]:
-    """Run every experiment; returns the results in DESIGN.md order."""
-    out = stream or sys.stdout
+def _materialize_workloads(specs: Sequence[ExperimentSpec],
+                           ctx: RunContext, note) -> None:
+    """Generate-or-load every workload the selected specs replay."""
+    needed: List[str] = []
+    for spec in specs:
+        for name in spec.workloads:
+            if name not in needed:
+                needed.append(name)
+    for name in needed:
+        start = time.time()
+        path, hit = ctx.store.ensure(name, quick=ctx.quick,
+                                     scale=ctx.scale)
+        events = ctx.events(name)
+        verb = "loaded from trace store" if hit else "generated"
+        note(f"workload {name!r}: {len(events)} events "
+             f"({sum(e.dispatched for e in events)} dispatched) "
+             f"{verb} in {time.time() - start:.1f}s [{path}]")
+    if needed:
+        note("")
+
+
+def _run_sequential(specs: Sequence[ExperimentSpec], ctx: RunContext,
+                    note) -> List[ExperimentResult]:
     results: List[ExperimentResult] = []
+    for spec in specs:
+        start = time.time()
+        result = spec.runner(ctx)
+        results.append(result)
+        note(result.report())
+        note(f"({spec.id} took {time.time() - start:.1f}s)\n")
+    return results
+
+
+#: Per-worker trace stores, keyed by trace dir: tasks that land on the
+#: same worker share one in-memory memo instead of re-deserializing
+#: the trace file per task.
+_WORKER_STORES: Dict[Optional[str], object] = {}
+
+
+def _pool_run(exp_id: str, shard, ctx_args: dict):
+    """Top-level pool task (must be picklable by reference)."""
+    registry.load_all()
+    ctx = RunContext(**ctx_args)
+    cached = _WORKER_STORES.get(ctx.trace_dir)
+    if cached is None:
+        _WORKER_STORES[ctx.trace_dir] = ctx.store
+    else:
+        ctx._store = cached
+    spec = registry.get(exp_id)
+    if shard == _WHOLE:
+        return spec.runner(ctx)
+    return spec.shard_runner(ctx, shard)
+
+
+#: Sentinel shard key meaning "run the whole experiment in one task".
+#: Compared by equality: it crosses process boundaries by pickle.
+_WHOLE = "__whole__"
+
+
+def _run_parallel(specs: Sequence[ExperimentSpec], ctx: RunContext,
+                  jobs: int, note) -> List[ExperimentResult]:
+    ctx_args = ctx.pool_args()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures: List[Tuple[str, object, object]] = []
+        for spec in specs:
+            if spec.shards:
+                for shard in spec.shards:
+                    futures.append((spec.id, shard, pool.submit(
+                        _pool_run, spec.id, shard, ctx_args)))
+            else:
+                futures.append((spec.id, _WHOLE, pool.submit(
+                    _pool_run, spec.id, _WHOLE, ctx_args)))
+        payloads: Dict[str, Dict[object, object]] = {}
+        for exp_id, shard, future in futures:
+            payloads.setdefault(exp_id, {})[shard] = future.result()
+    results: List[ExperimentResult] = []
+    for spec in specs:
+        got = payloads[spec.id]
+        if spec.shards:
+            result = spec.merger(ctx, got)
+        else:
+            result = got[_WHOLE]
+        results.append(result)
+        note(result.report())
+    return results
+
+
+def run_all(scale: int = 1, quick: bool = False, stream=None,
+            only: Optional[List[str]] = None,
+            skip: Optional[List[str]] = None,
+            jobs: int = 1,
+            trace_dir: Optional[str] = None) -> List[ExperimentResult]:
+    """Run the selected experiments; returns results in suite order."""
+    out = stream or sys.stdout
 
     def note(text: str) -> None:
         print(text, file=out, flush=True)
 
-    note("Generating the section-5 measurement trace "
-         "(Fith corpus + polymorphic workload)...")
-    start = time.time()
-    if quick:
-        # Keep the full code/key footprint (rounds) so the figure
-        # claims still hold; shrink only the per-phase repetition.
-        events = paper_trace(scale, phase_length=280)
+    specs = registry.select(only, skip)
+    ctx = RunContext(scale=scale, quick=quick, trace_dir=trace_dir)
+    started = time.time()
+    _materialize_workloads(specs, ctx, note)
+    if jobs > 1:
+        results = _run_parallel(specs, ctx, jobs, note)
     else:
-        events = paper_trace(scale)
-    note(f"  {len(events)} events "
-         f"({sum(e.dispatched for e in events)} dispatched) "
-         f"in {time.time() - start:.1f}s\n")
-
-    stages: List[tuple] = [
-        ("FIG-10", lambda: fig10.run(scale, events=events)),
-        ("FIG-11", lambda: fig11.run(scale, events=events)),
-        ("TAB-CALL", lambda: call_cost.run(50 if quick else 200)),
-        ("TAB-CTX", lambda: context_stats.run()),
-        ("TAB-CCACHE", lambda: context_cache.run()),
-        ("TAB-ADDR", lambda: addr_compare.run()),
-        ("TAB-3ADDR", lambda: stack_vs_3addr.run()),
-    ]
-    for name, runner in stages:
-        start = time.time()
-        result = runner()
-        results.append(result)
-        note(result.report())
-        note(f"({name} took {time.time() - start:.1f}s)\n")
+        results = _run_sequential(specs, ctx, note)
 
     note("=" * 64)
     note("SUMMARY")
@@ -78,20 +155,63 @@ def run_all(scale: int = 1, quick: bool = False,
             held += claim.holds
         status = "ok " if result.all_hold else "DIVERGES"
         note(f"  [{status}] {result.experiment}")
-    note(f"\n{held}/{total} paper claims reproduced.")
+    note(f"\n{held}/{total} paper claims reproduced "
+         f"(jobs={jobs}, {time.time() - started:.1f}s wall).")
     return results
+
+
+def list_experiments(stream=None) -> None:
+    """Print the registered suite (ids, figures, workloads)."""
+    out = stream or sys.stdout
+    specs = registry.load_all()
+    width = max(len(spec.id) for spec in specs) + 2
+    for spec in specs:
+        traces = (f"  [workloads: {', '.join(spec.workloads)}]"
+                  if spec.workloads else "")
+        print(f"  {spec.id:<{width}}{spec.title} "
+              f"({spec.figure}){traces}", file=out)
+
+
+def _csv(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run flags, shared with the ``python -m repro`` CLI."""
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink trace workloads for a fast pass")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1: in-process)")
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated experiment ids to run")
+    parser.add_argument("--skip", type=str, default=None,
+                        help="comma-separated experiment ids to skip")
+    parser.add_argument("--trace-dir", type=str, default=None,
+                        help="trace store directory "
+                             "(default .repro_traces or $REPRO_TRACE_DIR)")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list registered experiments and exit")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_only:
+        list_experiments()
+        return 0
+    results = run_all(args.scale, args.quick, only=_csv(args.only),
+                      skip=_csv(args.skip), jobs=args.jobs,
+                      trace_dir=args.trace_dir)
+    return 0 if all(r.all_hold for r in results) else 1
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce every figure/claim of Dally & Kajiya 1985")
-    parser.add_argument("--scale", type=int, default=1,
-                        help="workload scale factor (default 1)")
-    parser.add_argument("--quick", action="store_true",
-                        help="shrink trace workloads for a fast pass")
-    args = parser.parse_args(argv)
-    results = run_all(args.scale, args.quick)
-    return 0 if all(r.all_hold for r in results) else 1
+    add_run_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

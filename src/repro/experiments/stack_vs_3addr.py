@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.machine import COMMachine
+from repro.config import make_com
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.smalltalk import compile_program
 from repro.smalltalk.stackgen import run_stack_program
 
@@ -84,7 +85,7 @@ def run(max_instructions: int = 5_000_000) -> ExperimentResult:
     ratios: List[float] = []
     static_ratios: List[float] = []
     for name, source in sorted(SOURCES.items()):
-        machine = COMMachine()
+        machine = make_com()
         main = compile_program(machine, source)
         com_result = machine.run_program(
             main, max_instructions=max_instructions)
@@ -147,6 +148,21 @@ def run(max_instructions: int = 5_000_000) -> ExperimentResult:
         "mean_static_ratio": mean_static,
     }
     return result
+
+
+def _run(ctx) -> ExperimentResult:
+    return run()
+
+
+register(ExperimentSpec(
+    id="TAB-3ADDR",
+    figure="section 5",
+    order=70,
+    title="stack machine vs three-address instruction counts",
+    description="the same Smalltalk sources on both back ends; "
+                "dynamic instruction counts compared",
+    runner=_run,
+))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -329,6 +329,154 @@ def polymorphic_workload(
     return "\n".join(lines)
 
 
+def gc_churn(scale: int = 1, slots: int = 16, batch: int = 48) -> str:
+    """Allocation churn: a rotating window of short-lived objects.
+
+    Every round allocates ``batch`` fresh objects of three classes and
+    stores them into a ``slots``-entry window, unlinking the previous
+    generation (which becomes garbage); a sweep then reads every
+    survivor.  The trace is dominated by ``new``/``put`` traffic with a
+    constantly moving object population -- the storage-management
+    regime section 2.3 budgets for.
+    """
+    rounds = 30 * scale
+    return f"""
+    class Node 2
+    class Leaf 1
+    class Pair 2
+    variable slots
+    {slots} array slots !
+    variable seed
+    4242 seed !
+    : rand  seed @ 75 * 74 + 65537 mod dup seed ! ;
+    : churn
+        {batch} 0 do
+            i 3 mod 0 = if #Node new dup 0 i put dup 1 rand put else
+            i 3 mod 1 = if #Leaf new dup 0 rand 64 mod put else
+            #Pair new dup 0 i put dup 1 i 2 * put then then
+            slots @ i {slots} mod rot put
+        loop ;
+    : sweep ( -- n )
+        0 {slots} 0 do slots @ i at 0 at + loop ;
+    variable total
+    0 total !
+    : round  churn sweep total @ + total ! ;
+    {rounds} 0 do round loop
+    total @ .
+    """
+
+
+def megamorphic(scale: int = 1, classes: int = 26) -> str:
+    """A megamorphic dispatch storm: one call site, ``classes`` receivers.
+
+    Every class implements the same two selectors; the storm loop walks
+    an array holding one instance of each class, so consecutive sends at
+    the *same* site see a different receiver class every time -- the
+    worst case for any translation cache whose associativity is below
+    the receiver count (the anti-workload to ``polymorphic_workload``'s
+    phase locality).
+    """
+    rounds = 40 * scale
+    lines: List[str] = []
+    for c in range(classes):
+        lines.append(f"class M{c} 1")
+    for c in range(classes):
+        lines.append(f":: M{c} poke dup 0 at 1 + over swap 0 swap put "
+                     "drop ;")
+        lines.append(f":: M{c} probe 0 at {c % 7} + ;")
+    lines.append("variable objs")
+    lines.append(f"{classes} array objs !")
+    for c in range(classes):
+        lines.append(f"#M{c} new dup 0 0 put objs @ {c} rot put")
+    lines.append("variable acc")
+    lines.append("0 acc !")
+    lines.append(f": storm {classes} 0 do "
+                 "objs @ i at poke "
+                 "objs @ i at probe acc @ + acc ! "
+                 "loop ;")
+    lines.append(f"{rounds} 0 do storm loop")
+    lines.append("acc @ .")
+    return "\n".join(lines)
+
+
+def deep_calls(scale: int = 1, depth: int = 500) -> str:
+    """Deep-recursion call stress: frames far past the context cache.
+
+    ``sink`` recurses ``depth`` levels (a single self-call chain);
+    ``m-even``/``m-odd`` alternate through two code addresses for the
+    same depth.  Call/return density approaches one send per two
+    instructions, and the return stack grows to ``depth`` frames --
+    the copy-back regime of the paper's context cache.
+    """
+    reps = 8 * scale
+    return f"""
+    :: SmallInteger sink
+        dup 1 < if drop 0 else dup 1 - sink 1 + swap drop then ;
+    :: SmallInteger m-even  dup 1 < if drop 1 else 1 - m-odd then ;
+    :: SmallInteger m-odd   dup 1 < if drop 0 else 1 - m-even then ;
+    variable total
+    0 total !
+    {reps} 0 do
+        {depth} sink
+        {depth} m-even +
+        total @ + total !
+    loop
+    total @ .
+    """
+
+
+def redefinition_epoch(epoch: int, scale: int = 1,
+                       classes: int = 6) -> str:
+    """One epoch of method-redefinition churn (load, run, repeat).
+
+    Epoch 0 declares the classes, the object population and the
+    accumulator; every epoch (including 0) *redefines* ``work`` on all
+    ``classes`` classes with a body that varies by ``(epoch, class)``
+    and then drives a dispatch loop over the population.  Reloading a
+    program into a live machine is the Fith analogue of the COM's
+    ``install_method``: it shoots down the send-translation memo
+    (PR-1's predecode invalidation path) and places the new method
+    bodies at fresh code addresses, so the instruction cache sees a
+    shifting footprint.
+    """
+    rounds = 10 * scale
+    lines: List[str] = []
+    if epoch == 0:
+        for c in range(classes):
+            lines.append(f"class R{c} 1")
+        lines.append("variable objs")
+        lines.append(f"{classes} array objs !")
+        for c in range(classes):
+            lines.append(f"#R{c} new dup 0 {c + 1} put objs @ {c} rot put")
+        lines.append("variable acc")
+        lines.append("0 acc !")
+    bodies = [
+        "0 at",
+        "dup 0 at 1 + over swap 0 swap put 0 at",
+        "0 at 2 *",
+        "0 at 3 +",
+    ]
+    for c in range(classes):
+        body = bodies[(epoch + c) % len(bodies)]
+        lines.append(f":: R{c} work {body} ;")
+    lines.append(f": e{epoch} {rounds} 0 do {classes} 0 do "
+                 "objs @ i at work acc @ + acc ! "
+                 "loop loop ;")
+    lines.append(f"e{epoch}")
+    lines.append("acc @ .")
+    return "\n".join(lines)
+
+
+#: Additional single-source workloads (not part of the calibrated
+#: section-5 corpus: CORPUS feeds the figure-10/11 measurement trace,
+#: whose operating points must not shift when scenarios are added).
+EXTRA_WORKLOADS: Dict[str, Callable[[int], str]] = {
+    "gc_churn": gc_churn,
+    "megamorphic": megamorphic,
+    "deep_calls": deep_calls,
+}
+
+
 #: The named corpus: name -> source builder.
 CORPUS: Dict[str, Callable[[int], str]] = {
     "hanoi": hanoi,

@@ -1,0 +1,44 @@
+"""Named, parameterized, cached workloads (the scenario registry).
+
+This package is the workload layer the harness, benchmarks, tests and
+examples share:
+
+* :mod:`repro.workloads.spec` -- the :class:`WorkloadSpec` registry of
+  scenario generators;
+* :mod:`repro.workloads.store` -- the on-disk trace store
+  (``.repro_traces/``), content-keyed by spec name + parameters +
+  generator version, so a trace is generated once per machine and
+  loaded thereafter;
+* :mod:`repro.workloads.scenarios` -- the registered catalogue
+  (imported here for its registration side effects).
+
+Typical use::
+
+    from repro.workloads import load_events, names
+
+    events = load_events("paper")             # store-cached
+    storm = load_events("megamorphic", classes=32)
+"""
+
+from repro.workloads.spec import WorkloadSpec, get, names, register, specs
+from repro.workloads.store import TraceStore, default_store
+from repro.workloads import scenarios as _scenarios  # noqa: F401 (registers)
+
+
+def load_events(name: str, *, quick: bool = False, scale: int = None,
+                store: TraceStore = None, **overrides):
+    """Load a registered workload's trace through the default store."""
+    return (store or default_store()).load(
+        name, quick=quick, scale=scale, **overrides)
+
+
+__all__ = [
+    "TraceStore",
+    "WorkloadSpec",
+    "default_store",
+    "get",
+    "load_events",
+    "names",
+    "register",
+    "specs",
+]

@@ -1,0 +1,235 @@
+"""The on-disk trace store: generate a workload once, load it forever.
+
+Every consumer of the section-5 measurement traces (harness,
+benchmarks, tests, examples) used to re-run the Fith interpreter from
+scratch -- seconds of pure regeneration per process.  The store keys
+each materialized trace by ``(spec name, parameters, generator
+version)`` -- hashed into a content key -- and keeps it under
+``.repro_traces/`` (override with ``REPRO_TRACE_DIR`` or the
+``root`` argument) in a flat binary format that loads in tens of
+milliseconds.
+
+Cache rules:
+
+* **key** -- sha256 over the canonical JSON of ``{name, version,
+  format, params}``.  Different parameters or a bumped generator
+  version produce a different key; nothing is ever invalidated in
+  place.
+* **write** -- to a temp file in the same directory then
+  ``os.replace``, so concurrent writers (the parallel harness's
+  workers) can race harmlessly: last atomic rename wins and both
+  contents are identical by construction.
+* **read** -- a corrupt or truncated file is treated as a miss and
+  regenerated.
+
+A JSON sidecar (same stem, ``.json``) records the human-readable
+identity of each entry for ``python -m repro list``/``trace``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.trace.events import TraceEvent
+from repro.workloads.spec import WorkloadSpec, get as get_spec
+
+#: Bump when the binary layout changes; participates in the cache key.
+FORMAT_VERSION = 1
+_MAGIC = b"RTRC"
+#: 4-byte signed payload words; every TraceEvent field fits.  The
+#: on-disk byte order is little-endian regardless of host (the store
+#: may be shared via CI caches or a network filesystem), so big-endian
+#: hosts byte-swap on the way in and out.
+_INT = "i" if array("i").itemsize == 4 else "l"
+_SWAP = sys.byteorder == "big"
+
+
+def default_root() -> Path:
+    """The store directory: $REPRO_TRACE_DIR or ./.repro_traces."""
+    return Path(os.environ.get("REPRO_TRACE_DIR", ".repro_traces"))
+
+
+class TraceStore:
+    """Content-keyed trace cache with an in-process memo on top.
+
+    ``hits``/``misses`` count disk-level outcomes (a memo hit does
+    not touch the counters twice); ``generated`` counts actual
+    generator executions -- the number the "no Fith re-execution"
+    guarantee is asserted on.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_root()
+        self.hits = 0
+        self.misses = 0
+        self.generated = 0
+        self._memo: Dict[str, List[TraceEvent]] = {}
+
+    # -- keying ---------------------------------------------------------
+
+    @staticmethod
+    def key_for(spec: WorkloadSpec, params: Mapping[str, object]) -> str:
+        identity = json.dumps(
+            {"name": spec.name, "version": spec.version,
+             "format": FORMAT_VERSION, "params": dict(params)},
+            sort_keys=True, separators=(",", ":"), default=str)
+        return hashlib.sha256(identity.encode()).hexdigest()[:20]
+
+    def path_for(self, spec: WorkloadSpec,
+                 params: Mapping[str, object]) -> Path:
+        return self.root / f"{spec.name}-{self.key_for(spec, params)}.trace"
+
+    # -- load / materialize ---------------------------------------------
+
+    def load(self, name_or_spec, *, quick: bool = False,
+             scale: Optional[int] = None,
+             **overrides) -> List[TraceEvent]:
+        """Load a workload's trace, generating and caching on miss."""
+        spec = (name_or_spec if isinstance(name_or_spec, WorkloadSpec)
+                else get_spec(name_or_spec))
+        params = spec.resolve(quick=quick, scale=scale,
+                              overrides=overrides)
+        return self._load_resolved(spec, params)
+
+    def ensure(self, name_or_spec, *, quick: bool = False,
+               scale: Optional[int] = None,
+               **overrides) -> Tuple[Path, bool]:
+        """Materialize a workload on disk; returns (path, was_hit)."""
+        spec = (name_or_spec if isinstance(name_or_spec, WorkloadSpec)
+                else get_spec(name_or_spec))
+        params = spec.resolve(quick=quick, scale=scale,
+                              overrides=overrides)
+        path = self.path_for(spec, params)
+        before = self.generated
+        self._load_resolved(spec, params)
+        return path, self.generated == before
+
+    def _load_resolved(self, spec: WorkloadSpec,
+                       params: Mapping[str, object]) -> List[TraceEvent]:
+        key = self.key_for(spec, params)
+        memo = self._memo.get(key)
+        if memo is not None:
+            return memo
+        path = self.root / f"{spec.name}-{key}.trace"
+        events = self._read(path)
+        if events is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.generated += 1
+            events = spec.generate(params)
+            self._write(path, spec, params, events)
+        self._memo[key] = events
+        return events
+
+    # -- binary format --------------------------------------------------
+
+    @staticmethod
+    def serialize(events: List[TraceEvent]) -> bytes:
+        flat = array(_INT)
+        for event in events:
+            flat.extend((event.address, event.opcode,
+                         event.receiver_class, int(event.dispatched)))
+        if _SWAP:
+            flat.byteswap()
+        header = _MAGIC + bytes([FORMAT_VERSION]) + \
+            len(events).to_bytes(4, "little")
+        return header + flat.tobytes()
+
+    @staticmethod
+    def deserialize(blob: bytes) -> List[TraceEvent]:
+        if len(blob) < 9 or blob[:4] != _MAGIC or blob[4] != FORMAT_VERSION:
+            raise ValueError("not a trace-store blob")
+        count = int.from_bytes(blob[5:9], "little")
+        flat = array(_INT)
+        flat.frombytes(blob[9:])
+        if _SWAP:
+            flat.byteswap()
+        if len(flat) != count * 4:
+            raise ValueError("truncated trace-store blob")
+        return [TraceEvent(flat[i], flat[i + 1], flat[i + 2],
+                           bool(flat[i + 3]))
+                for i in range(0, len(flat), 4)]
+
+    def _read(self, path: Path) -> Optional[List[TraceEvent]]:
+        try:
+            return self.deserialize(path.read_bytes())
+        except (OSError, ValueError):
+            return None
+
+    def _write(self, path: Path, spec: WorkloadSpec,
+               params: Mapping[str, object],
+               events: List[TraceEvent]) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            blob = self.serialize(events)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root),
+                                       prefix=path.stem, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            meta = {
+                "workload": spec.name,
+                "version": spec.version,
+                "format": FORMAT_VERSION,
+                "params": {k: repr(v) if not isinstance(
+                    v, (int, float, str, bool, type(None))) else v
+                    for k, v in params.items()},
+                "events": len(events),
+                "dispatched": sum(1 for e in events if e.dispatched),
+            }
+            path.with_suffix(".json").write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            # The store is a cache: failing to persist must never fail
+            # the run that produced the trace.
+            pass
+
+    # -- introspection --------------------------------------------------
+
+    def entries(self) -> List[dict]:
+        """Sidecar metadata for every materialized trace."""
+        out = []
+        for sidecar in sorted(self.root.glob("*.json")):
+            try:
+                meta = json.loads(sidecar.read_text())
+            except (OSError, ValueError):
+                continue
+            if sidecar.with_suffix(".trace").exists():
+                meta["path"] = str(sidecar.with_suffix(".trace"))
+                out.append(meta)
+        return out
+
+    def cached_names(self) -> Dict[str, int]:
+        """workload name -> number of materialized parameterizations."""
+        counts: Dict[str, int] = {}
+        for meta in self.entries():
+            name = meta.get("workload")
+            if name:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+_DEFAULT: Optional[TraceStore] = None
+
+
+def default_store() -> TraceStore:
+    """The process-wide store rooted at :func:`default_root`."""
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT.root != default_root():
+        _DEFAULT = TraceStore()
+    return _DEFAULT

@@ -20,9 +20,11 @@ EXAMPLES = sorted(
 
 @pytest.mark.slow
 class TestHarness:
-    def test_quick_run_reproduces_everything(self):
+    def test_quick_run_reproduces_everything(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
         stream = io.StringIO()
-        results = run_all(quick=True, stream=stream)
+        results = run_all(quick=True, stream=stream,
+                          trace_dir=trace_dir)
         assert len(results) == 7
         failed = [claim.claim
                   for result in results
@@ -31,6 +33,14 @@ class TestHarness:
         output = stream.getvalue()
         assert "SUMMARY" in output
         assert "DIVERGES" not in output
+        # The first run materialized the measurement trace into the
+        # store; a second harness run must load it (no Fith
+        # re-execution for cached workloads).
+        rerun = io.StringIO()
+        again = run_all(quick=True, stream=rerun, only=["FIG-10"],
+                        trace_dir=trace_dir)
+        assert "loaded from trace store" in rerun.getvalue()
+        assert again[0].all_hold
 
 
 class TestExamples:

@@ -1,0 +1,130 @@
+"""Tests for the experiment registry, the parallel engine and the CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import registry
+from repro.experiments.harness import list_experiments, run_all
+from repro.experiments.registry import ExperimentSpec, RunContext
+
+#: The seed harness's stage list, in order.  Registry-driven runs must
+#: keep reproducing exactly this suite.
+SEED_STAGES = ["FIG-10", "FIG-11", "TAB-CALL", "TAB-CTX", "TAB-CCACHE",
+               "TAB-ADDR", "TAB-3ADDR"]
+
+#: Cheap experiments (no trace workloads) used for engine-level tests.
+LIGHT = ["TAB-ADDR", "TAB-CCACHE"]
+
+
+class TestRegistry:
+    def test_parity_with_seed_stage_list(self):
+        assert [spec.id for spec in registry.load_all()] == SEED_STAGES
+
+    def test_figure_experiments_declare_their_workload(self):
+        assert registry.get("FIG-10").workloads == ("paper",)
+        assert registry.get("FIG-11").workloads == ("paper",)
+
+    def test_sharded_specs_are_complete(self):
+        for spec in registry.load_all():
+            if spec.shards:
+                assert spec.shard_runner and spec.merger
+
+    def test_shards_without_merger_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ExperimentSpec(id="X", figure="f", title="t",
+                           description="d", runner=lambda ctx: None,
+                           shards=(1, 2))
+
+    def test_select_only_and_skip(self):
+        only = registry.select(only=["tab-addr", "FIG-10"])
+        assert [spec.id for spec in only] == ["FIG-10", "TAB-ADDR"]
+        skipped = registry.select(skip=["FIG-10", "FIG-11"])
+        assert [spec.id for spec in skipped] == SEED_STAGES[2:]
+        with pytest.raises(KeyError, match="TAB-NOPE"):
+            registry.select(only=["TAB-NOPE"])
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            registry.get("FIG-99")
+
+
+class TestRunContext:
+    def test_events_go_through_the_store(self, tmp_path):
+        ctx = RunContext(quick=True, trace_dir=str(tmp_path))
+        events = ctx.events("monomorphic")
+        assert len(events) == 5_000  # the quick override
+        assert ctx.store.generated == 1
+        # A rebuilt context (a worker process) loads from disk.
+        worker = RunContext(**ctx.pool_args())
+        assert worker.events("monomorphic") == events
+        assert worker.store.generated == 0
+
+    def test_pool_args_round_trip(self):
+        ctx = RunContext(scale=2, quick=True, trace_dir="/tmp/x")
+        assert RunContext(**ctx.pool_args()) == ctx
+
+
+class TestHarnessEngine:
+    def test_selected_run_keeps_suite_order(self, tmp_path):
+        stream = io.StringIO()
+        results = run_all(stream=stream, only=list(reversed(LIGHT)),
+                          trace_dir=str(tmp_path))
+        ids = [result.experiment.split()[0] for result in results]
+        assert ids == ["TAB-CCACHE", "TAB-ADDR"]
+        assert all(result.all_hold for result in results)
+        assert "SUMMARY" in stream.getvalue()
+
+    def test_parallel_run_matches_serial(self, tmp_path):
+        serial = run_all(stream=io.StringIO(), only=LIGHT,
+                         trace_dir=str(tmp_path))
+        parallel = run_all(stream=io.StringIO(), only=LIGHT,
+                           trace_dir=str(tmp_path), jobs=2)
+        assert [r.experiment for r in serial] == \
+            [r.experiment for r in parallel]
+        assert [(c.claim, c.holds) for r in serial for c in r.claims] \
+            == [(c.claim, c.holds) for r in parallel for c in r.claims]
+
+    def test_list_experiments_prints_suite(self):
+        stream = io.StringIO()
+        list_experiments(stream)
+        output = stream.getvalue()
+        for exp_id in SEED_STAGES:
+            assert exp_id in output
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("paper", "megamorphic", "redefine-churn"):
+            assert name in output
+        assert "FIG-10" in output
+
+    def test_run_list_flag(self, capsys):
+        assert cli_main(["run", "--list"]) == 0
+        assert "TAB-3ADDR" in capsys.readouterr().out
+
+    def test_trace_materializes_and_hits(self, tmp_path, capsys):
+        args = ["trace", "monomorphic", "--set", "length=400",
+                "--trace-dir", str(tmp_path)]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert "generated" in first and "400 events" in first
+        assert cli_main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert list(tmp_path.glob("monomorphic-*.trace"))
+
+    def test_trace_unknown_workload_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            cli_main(["trace", "nope", "--trace-dir", str(tmp_path)])
+
+    def test_run_only_light_experiment(self, tmp_path, capsys):
+        assert cli_main(["run", "--only", "TAB-ADDR",
+                         "--trace-dir", str(tmp_path)]) == 0
+        assert "paper claims reproduced" in capsys.readouterr().out
+
+    def test_bench_requires_benchmarks_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["bench"]) == 2

@@ -1,0 +1,183 @@
+"""Tests for the scenario registry and the on-disk trace store."""
+
+import dataclasses
+
+import pytest
+
+from repro.trace.events import TraceEvent
+from repro.workloads import get, load_events, names, specs
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.store import TraceStore
+
+#: The scenarios this PR added beyond the ported seed traces.
+NEW_SCENARIOS = ("gc-churn", "megamorphic", "deep-calls",
+                 "redefine-churn")
+
+
+def _counting_spec(counter, *, version=1, name="synthetic"):
+    """A tiny deterministic workload that counts generator runs."""
+    def build(length=32):
+        counter["runs"] += 1
+        return [TraceEvent(i % 8, 1 + i % 3, i % 5, bool(i % 2))
+                for i in range(length)]
+    return WorkloadSpec(name=name, description="test-only",
+                        build=build, defaults={"length": 32},
+                        version=version)
+
+
+class TestRegistry:
+    def test_seed_traces_are_registered(self):
+        for ported in ("paper", "interleaved", "monomorphic"):
+            assert ported in names()
+
+    def test_new_scenarios_are_registered(self):
+        assert len(NEW_SCENARIOS) >= 4
+        for scenario in NEW_SCENARIOS:
+            assert scenario in names()
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="megamorphic"):
+            get("no-such-workload")
+
+    def test_paper_defaults_match_seed_calibration(self):
+        spec = get("paper")
+        assert spec.resolve() == {
+            "scale": 1, "classes": 20, "selectors": 32, "rounds": 450,
+            "phase_length": 700, "stray_percent": 2, "hot_selectors": 10}
+        # --quick shrinks only the per-phase repetition, as the seed
+        # harness did.
+        assert spec.resolve(quick=True)["phase_length"] == 280
+
+    def test_resolve_scale_and_overrides(self):
+        spec = get("paper")
+        assert spec.resolve(scale=3)["scale"] == 3
+        assert spec.resolve(overrides={"rounds": 7})["rounds"] == 7
+        with pytest.raises(KeyError, match="no parameter"):
+            spec.resolve(overrides={"bogus": 1})
+
+
+class TestStore:
+    def test_generated_once_then_disk_hit(self, tmp_path):
+        counter = {"runs": 0}
+        spec = _counting_spec(counter)
+        store = TraceStore(tmp_path)
+        first = store.load(spec)
+        assert counter["runs"] == 1 and store.generated == 1
+        # Same process: memo hit, no disk or generator traffic.
+        assert store.load(spec) is first
+        assert counter["runs"] == 1
+        # Fresh store over the same directory: disk hit.
+        second = TraceStore(tmp_path)
+        assert second.load(spec) == first
+        assert counter["runs"] == 1
+        assert second.hits == 1 and second.generated == 0
+
+    def test_same_params_byte_identical(self, tmp_path):
+        counter = {"runs": 0}
+        spec = _counting_spec(counter)
+        blob_a = TraceStore.serialize(spec.generate(spec.resolve()))
+        blob_b = TraceStore.serialize(spec.generate(spec.resolve()))
+        assert blob_a == blob_b
+
+    def test_params_change_key(self, tmp_path):
+        spec = _counting_spec({"runs": 0})
+        assert TraceStore.key_for(spec, {"length": 32}) != \
+            TraceStore.key_for(spec, {"length": 33})
+
+    def test_version_bump_invalidates(self, tmp_path):
+        counter = {"runs": 0}
+        store = TraceStore(tmp_path)
+        v1 = _counting_spec(counter, version=1)
+        v2 = _counting_spec(counter, version=2)
+        path_v1 = store.path_for(v1, v1.resolve())
+        path_v2 = store.path_for(v2, v2.resolve())
+        assert path_v1 != path_v2
+        store.load(v1)
+        store.load(v2)
+        assert counter["runs"] == 2
+        assert path_v1.exists() and path_v2.exists()
+
+    def test_roundtrip_preserves_events(self):
+        events = [TraceEvent(12345, 7, -1, False),
+                  TraceEvent(0, 0, 0, True)]
+        assert TraceStore.deserialize(
+            TraceStore.serialize(events)) == events
+
+    def test_corrupt_file_regenerates(self, tmp_path):
+        counter = {"runs": 0}
+        spec = _counting_spec(counter)
+        store = TraceStore(tmp_path)
+        path = store.path_for(spec, spec.resolve())
+        store.load(spec)
+        path.write_bytes(b"RTRC\x01garbage")
+        again = TraceStore(tmp_path)
+        events = again.load(spec)
+        assert counter["runs"] == 2
+        assert len(events) == 32
+        # And the store healed the entry on disk.
+        assert TraceStore(tmp_path).load(spec) == events
+        assert counter["runs"] == 2
+
+    def test_sidecar_metadata(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.load(_counting_spec({"runs": 0}))
+        (entry,) = store.entries()
+        assert entry["workload"] == "synthetic"
+        assert entry["events"] == 32
+        assert store.cached_names() == {"synthetic": 1}
+
+
+class TestScenarios:
+    """Every registered scenario generates a plausible trace."""
+
+    @pytest.mark.parametrize("name", NEW_SCENARIOS)
+    def test_scenario_generates_dispatched_events(self, name, tmp_path):
+        events = load_events(name, quick=True,
+                             store=TraceStore(tmp_path))
+        assert len(events) > 1_000
+        dispatched = [e for e in events if e.dispatched]
+        assert dispatched, f"{name} never dispatched"
+        assert len({e.address for e in events}) > 10
+
+    def test_scenarios_are_deterministic(self, tmp_path):
+        for name in NEW_SCENARIOS:
+            spec = get(name)
+            params = spec.resolve(quick=True)
+            assert TraceStore.serialize(spec.generate(params)) == \
+                TraceStore.serialize(spec.generate(params)), name
+
+    def test_megamorphic_is_megamorphic(self, tmp_path):
+        spec = get("megamorphic")
+        events = spec.generate(spec.resolve(overrides={"scale": 1}))
+        poke = spec.build.__module__  # noqa: F841 (documentation only)
+        classes = {e.receiver_class for e in events if e.dispatched}
+        # One instance per class cycles through a single call site.
+        assert len(classes) >= 26
+
+    def test_redefine_churn_moves_the_code_footprint(self):
+        spec = get("redefine-churn")
+        few = spec.generate(spec.resolve(overrides={"epochs": 2}))
+        many = spec.generate(spec.resolve(overrides={"epochs": 4}))
+        # Each epoch compiles its redefined methods at fresh
+        # addresses, so more epochs widen the address working set.
+        assert len({e.address for e in many}) > \
+            len({e.address for e in few})
+
+    def test_deep_calls_outruns_the_context_cache(self):
+        spec = get("deep-calls")
+        events = spec.generate(spec.resolve(overrides={"depth": 100}))
+        sends = sum(1 for e in events if e.dispatched)
+        # Call-dominated: at least a quarter of the stream dispatches.
+        assert sends / len(events) > 0.25
+
+
+class TestSpecHygiene:
+    def test_specs_are_frozen(self):
+        spec = get("paper")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.version = 99
+
+    def test_every_spec_documents_itself(self):
+        for spec in specs():
+            assert spec.description
+            assert spec.version >= 1
