@@ -11,11 +11,16 @@ At session end, every pytest-benchmark result is written to
 ``BENCH_throughput.json`` at the repository root (ops/sec per
 benchmark) so the performance trajectory is tracked across PRs.
 Wall-clock measurements recorded via the ``wallclock_records``
-fixture (the harness parallelism benches) land in the same file.
+fixture (the harness parallelism and sweep benches) land in the same
+file.  The file is written deterministically -- keys sorted at every
+level, a ``_environment`` stamp identifying the host class the
+numbers came from, and no rewrite at all when the merged content is
+byte-identical -- so bench-only commits stop churning the whole file.
 """
 
 import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -59,17 +64,35 @@ def pytest_sessionfinish(session, exitstatus):
         }
     if not payload:
         return
+    # A host/environment stamp: when committed numbers shift, the
+    # stamp says whether the host class shifted with them.  Stable
+    # per machine so it does not by itself dirty the file.
+    payload["_environment"] = {
+        "cpus": os.cpu_count(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "system": platform.system(),
+    }
     path = Path(str(session.config.rootpath)) / "BENCH_throughput.json"
     try:
         # Merge over the existing record so a partial run (-k, single
         # file) updates its benchmarks without erasing the others.
         try:
-            existing = json.loads(path.read_text())
+            existing_text = path.read_text()
+        except OSError:
+            existing_text = ""
+        try:
+            existing = json.loads(existing_text)
             if isinstance(existing, dict):
                 existing.update(payload)
                 payload = existing
-        except (OSError, ValueError):
+        except ValueError:
             pass
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # sort_keys at every level + fixed separators make the
+        # serialization canonical; identical content is not rewritten.
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if text != existing_text:
+            path.write_text(text)
     except OSError:  # never fail the run over bookkeeping
         pass

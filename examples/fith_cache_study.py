@@ -2,14 +2,19 @@
 
 Writes a Fith program (Forth syntax, Smalltalk semantics), traces its
 execution -- recording, per instruction: address, opcode and the class
-of the top of stack -- and replays the trace against ITLB and
-instruction-cache models across the paper's size sweep.
+of the top of stack -- and replays the trace through the single-pass
+sweep engine (repro.sweep): one declared hierarchy (ITLB level +
+instruction-cache level) yields the full size x associativity
+hit-ratio surface per level, with fully-associative LRU and
+OPT/Belady reference columns, from a single replay of the trace per
+level instead of one per configuration.
 
 Run:  python examples/fith_cache_study.py
 """
 
 from repro import make_fith
-from repro.trace.cachesim import ascii_plot, sweep_icache, sweep_itlb
+from repro.sweep import HierarchySpec, SweepSpec, run_hierarchy
+from repro.trace.cachesim import ascii_plot
 
 PROGRAM = """
 \\ A polymorphic queue simulation: three task classes, one 'work' verb.
@@ -52,15 +57,34 @@ def main() -> None:
           f"{len({e.address for e in events})} distinct addresses")
 
     sizes = tuple(1 << k for k in range(3, 11))
-    itlb = sweep_itlb(events, sizes=sizes, double_pass=True)
+    study = HierarchySpec(
+        name="fith-cache-study",
+        description="section-5 methodology on one polymorphic program",
+        levels=(
+            SweepSpec(cache="itlb", sizes=sizes, double_pass=True,
+                      include_full=True, include_opt=True),
+            SweepSpec(cache="icache", sizes=sizes, double_pass=True,
+                      include_full=True, include_opt=True),
+        ),
+    )
+    itlb, icache = run_hierarchy(study, events)
+
     print()
     print(itlb.table())
+    print(f"(engine: {itlb.meta['engine']}, "
+          f"{itlb.meta['trace_passes']} simulation passes for "
+          f"{len(sizes) * 3 + len(sizes)} LRU configurations)")
     print()
-    print(ascii_plot(itlb, width=48, height=12))
+    print(ascii_plot(itlb.to_sweep_result(), width=48, height=12))
 
-    icache = sweep_icache(events, sizes=sizes, double_pass=True)
     print()
     print(icache.table())
+    target = 0.99
+    reach = icache.isoratio(target)
+    print(f"(99% thresholds: " + ", ".join(
+        f"{assoc if assoc == 'full' else f'{assoc}-way'} at "
+        f"{size if size is not None else '> ' + str(sizes[-1])}"
+        for assoc, size in reach.items()) + ")")
 
 
 if __name__ == "__main__":

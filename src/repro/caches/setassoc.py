@@ -63,6 +63,12 @@ def _stable_hash(key: Hashable) -> int:
     return _stable_hash(repr(key))
 
 
+#: Public name for the placement hash: the sweep engine
+#: (repro.sweep) must place blocks exactly as this cache does to stay
+#: bitwise-equivalent, so they share the function.
+stable_hash = _stable_hash
+
+
 class SetAssociativeCache(Generic[K, V]):
     """A fixed-capacity set-associative cache with pluggable replacement.
 

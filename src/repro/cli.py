@@ -4,6 +4,9 @@ Subcommands::
 
     repro run    [--quick] [--jobs N] [--only/--skip IDs] [--list] ...
                  run the experiment suite (the registry-driven harness)
+    repro sweep  [WORKLOAD] [--cache itlb|icache|both] [--sizes CSV]
+                 [--assoc CSV] [--opt] [--full] [--warmup F] ...
+                 single-pass cache sweep over a registered workload
     repro list   list registered workloads and experiments
     repro trace  NAME [--set k=v ...] [--force]
                  materialize one workload into the trace store
@@ -44,6 +47,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return harness.run_from_args(args)
 
 
+def _format_params(params) -> str:
+    return ", ".join(f"{key}={params[key]}" for key in sorted(params))
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import harness
     from repro.workloads import specs
@@ -56,12 +63,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
         cached = store.cached_names()
         print("workloads (scenario registry):")
         width = max(len(spec.name) for spec in specs()) + 2
+        pad = " " * (width + 2)
         for spec in specs():
             entries = cached.get(spec.name, 0)
             suffix = (f"  [cached: {entries} parameterization"
                       f"{'s' if entries != 1 else ''}]" if entries else "")
             print(f"  {spec.name:<{width}}v{spec.version}  "
                   f"{spec.description}{suffix}")
+            if spec.defaults:
+                print(f"{pad}defaults: {_format_params(spec.defaults)}")
+            if spec.quick_overrides:
+                print(f"{pad}quick:    "
+                      f"{_format_params(spec.quick_overrides)}")
         print(f"\ntrace store: {store.root}")
     if show_workloads and show_experiments:
         print()
@@ -97,6 +110,84 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"ITLB keys, {len({e.address for e in events})} distinct "
           f"addresses")
     print(f"store path: {path}")
+    return 0
+
+
+def _csv_sizes(text: str):
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}")
+
+
+def _csv_assocs(text: str):
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "full":
+            out.append("full")
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"expected integers or 'full', got {part!r}")
+    return tuple(out)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import HierarchySpec, SweepSpec, run_hierarchy
+    from repro.trace.cachesim import ascii_plot
+    from repro.workloads.store import TraceStore
+
+    store = TraceStore(args.trace_dir)
+    overrides = dict(args.set or [])
+    events = store.load(args.workload, quick=args.quick,
+                        scale=args.scale, **overrides)
+    caches = (("itlb", "icache") if args.cache == "both"
+              else (args.cache,))
+    common = dict(warmup_fraction=(args.warmup if args.warmup is not None
+                                   else 0.25),
+                  double_pass=args.warmup is None,
+                  policy=args.policy, include_full=args.full,
+                  include_opt=args.opt, engine=args.engine)
+    # `is not None`: an explicitly empty CSV must reach SweepSpec's
+    # "at least one size" validation, not silently mean "default grid".
+    if args.sizes is not None:
+        common["sizes"] = args.sizes
+    if args.assoc is not None:
+        common["associativities"] = args.assoc
+    levels = tuple(
+        SweepSpec(cache=cache,
+                  line_words=(args.line_words if cache == "icache" else 1),
+                  **common)
+        for cache in caches)
+    hierarchy = HierarchySpec(name=f"sweep:{args.workload}",
+                              levels=levels)
+    dispatched = sum(1 for e in events if e.dispatched)
+    print(f"workload: {args.workload} ({len(events)} events, "
+          f"{dispatched} dispatched)")
+    print(f"warm-up:  "
+          f"{'double pass' if args.warmup is None else f'fraction {args.warmup}'}")
+    for surface in run_hierarchy(hierarchy, events):
+        meta = surface.meta
+        print()
+        print(surface.table())
+        if args.plot:
+            print()
+            print(ascii_plot(surface.to_sweep_result()))
+        thresholds = ", ".join(
+            f"{'full' if assoc == 'full' else f'{assoc}-way'}: "
+            f"{size if size is not None else '>max'}"
+            for assoc, size in surface.isoratio(0.99).items())
+        print(f"[99% threshold  {thresholds}]")
+        print(f"[engine: {meta['engine']}, "
+              f"{meta['trace_passes']} simulation pass"
+              f"{'es' if meta['trace_passes'] != 1 else ''} over the "
+              f"trace]")
     return 0
 
 
@@ -154,6 +245,58 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run the experiment suite")
     harness.add_run_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="single-pass cache sweep (size x associativity grid) "
+             "over a registered workload")
+    sweep_parser.add_argument("workload", nargs="?", default="paper",
+                              help="registered workload name "
+                                   "(default: paper)")
+    sweep_parser.add_argument("--cache", choices=("itlb", "icache",
+                                                  "both"),
+                              default="both",
+                              help="which cache level(s) to sweep")
+    sweep_parser.add_argument("--sizes", type=_csv_sizes, default=None,
+                              metavar="CSV",
+                              help="cache sizes (default: the paper's "
+                                   "8..4096)")
+    sweep_parser.add_argument("--assoc", type=_csv_assocs, default=None,
+                              metavar="CSV",
+                              help="associativities, integers or "
+                                   "'full' (default: 1,2,4)")
+    sweep_parser.add_argument("--line-words", type=int, default=1,
+                              help="icache line size in words")
+    sweep_parser.add_argument("--policy", default="lru",
+                              choices=("lru", "fifo", "random"),
+                              help="replacement policy (non-LRU falls "
+                                   "back to per-config simulation)")
+    sweep_parser.add_argument("--warmup", type=float, default=None,
+                              metavar="FRACTION",
+                              help="exclude this warm-up fraction "
+                                   "instead of the default double-pass "
+                                   "methodology")
+    sweep_parser.add_argument("--full", action="store_true",
+                              help="add the fully-associative LRU "
+                                   "reference column")
+    sweep_parser.add_argument("--opt", action="store_true",
+                              help="add the OPT/Belady reference "
+                                   "column (two-pass)")
+    sweep_parser.add_argument("--engine", default="auto",
+                              choices=("auto", "single-pass", "grid"),
+                              help="force the execution engine")
+    sweep_parser.add_argument("--plot", action="store_true",
+                              help="also render the ASCII figure")
+    sweep_parser.add_argument("--quick", action="store_true",
+                              help="use the workload's quick "
+                                   "parameters")
+    sweep_parser.add_argument("--scale", type=int, default=None)
+    sweep_parser.add_argument("--set", action="append",
+                              type=_parse_override, metavar="KEY=VALUE",
+                              help="override a workload generator "
+                                   "parameter")
+    sweep_parser.add_argument("--trace-dir", type=str, default=None)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     list_parser = commands.add_parser(
         "list", help="list registered workloads and experiments")

@@ -24,7 +24,6 @@ from repro.trace.cachesim import (
     PAPER_SIZES,
     SweepResult,
     ascii_plot,
-    simulate_itlb,
     sweep_itlb,
 )
 from repro.trace.events import TraceEvent
@@ -38,9 +37,11 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sweep: Optional[SweepResult] = None) -> ExperimentResult:
     """Regenerate figure 10 and check its claims.
 
-    ``sweep`` short-circuits the grid simulation with precomputed
-    ratios (the parallel harness computes shards in worker processes
-    and merges here); claims are always re-checked against it.
+    The grid comes from the single-pass stack-distance engine
+    (:mod:`repro.sweep`): one warm replay plus one measured replay of
+    the trace produce every (size, associativity) point at once.
+    ``sweep`` short-circuits with precomputed ratios; claims are
+    always re-checked against it.
     """
     if events is None:
         events = paper_trace(scale)
@@ -60,6 +61,8 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         "trace_length": len(events),
         "dispatched": sum(1 for e in events if e.dispatched),
         "distinct_keys": len({e.itlb_key for e in events if e.dispatched}),
+        "engine": sweep.meta.get("engine"),
+        "trace_passes": sweep.meta.get("trace_passes"),
     }
 
     ratio_512_2w = sweep.ratio(2, 512)
@@ -106,32 +109,18 @@ def _run(ctx) -> ExperimentResult:
     return run(ctx.scale, events=ctx.events("paper"))
 
 
-def _run_shard(ctx, associativity) -> dict:
-    """One associativity's column of the figure-10 grid."""
-    events = ctx.events("paper")
-    return {size: simulate_itlb(events, size, associativity,
-                                double_pass=True).hit_ratio
-            for size in PAPER_SIZES}
-
-
-def _merge(ctx, payloads: dict) -> ExperimentResult:
-    sweep = SweepResult("ITLB", PAPER_SIZES, PAPER_ASSOCIATIVITIES,
-                        {a: payloads[a] for a in PAPER_ASSOCIATIVITIES})
-    return run(ctx.scale, events=ctx.events("paper"), sweep=sweep)
-
-
+# The per-associativity shards this spec used to declare are gone: the
+# single-pass engine computes the whole grid in one replay, so under
+# --jobs the figure is one (fast) pool task instead of three slow ones.
 register(ExperimentSpec(
     id="FIG-10",
     figure="figure 10",
     order=10,
     title="ITLB hit ratio vs cache size",
     description="ITLB size/associativity sweep over the section-5 "
-                "measurement trace",
+                "measurement trace (single-pass stack-distance engine)",
     runner=_run,
     workloads=("paper",),
-    shards=PAPER_ASSOCIATIVITIES,
-    shard_runner=_run_shard,
-    merger=_merge,
 ))
 
 

@@ -17,7 +17,6 @@ from repro.trace.cachesim import (
     PAPER_SIZES,
     SweepResult,
     ascii_plot,
-    simulate_icache,
     sweep_icache,
 )
 from repro.trace.events import TraceEvent
@@ -31,7 +30,8 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sweep: Optional[SweepResult] = None) -> ExperimentResult:
     """Regenerate figure 11 and check its claims.
 
-    ``sweep`` accepts a precomputed grid (see :mod:`.fig10`); the
+    The grid comes from the single-pass stack-distance engine (see
+    :mod:`.fig10`); ``sweep`` accepts a precomputed grid, and the
     claims are re-checked against it either way.
     """
     if events is None:
@@ -51,6 +51,8 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         "sweep": sweep,
         "trace_length": len(events),
         "distinct_addresses": len({e.address for e in events}),
+        "engine": sweep.meta.get("engine"),
+        "trace_passes": sweep.meta.get("trace_passes"),
     }
 
     r_4096_2w = sweep.ratio(2, 4096)
@@ -97,33 +99,19 @@ def _run(ctx) -> ExperimentResult:
     return run(ctx.scale, events=ctx.events("paper"))
 
 
-def _run_shard(ctx, associativity) -> dict:
-    """One associativity's column of the figure-11 grid."""
-    events = ctx.events("paper")
-    return {size: simulate_icache(events, size, associativity,
-                                  double_pass=True).hit_ratio
-            for size in PAPER_SIZES}
-
-
-def _merge(ctx, payloads: dict) -> ExperimentResult:
-    sweep = SweepResult("instruction cache", PAPER_SIZES,
-                        PAPER_ASSOCIATIVITIES,
-                        {a: payloads[a] for a in PAPER_ASSOCIATIVITIES})
-    return run(ctx.scale, events=ctx.events("paper"), sweep=sweep)
-
-
+# Formerly sharded per associativity for the parallel harness; the
+# single-pass engine replays the trace once for the whole grid, so
+# the experiment is a single task (and no longer dominates the suite).
 register(ExperimentSpec(
     id="FIG-11",
     figure="figure 11",
     order=20,
     title="instruction cache hit ratio vs cache size",
     description="instruction-cache size/associativity sweep over the "
-                "section-5 measurement trace",
+                "section-5 measurement trace (single-pass "
+                "stack-distance engine)",
     runner=_run,
     workloads=("paper",),
-    shards=PAPER_ASSOCIATIVITIES,
-    shard_runner=_run_shard,
-    merger=_merge,
 ))
 
 

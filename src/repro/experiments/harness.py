@@ -16,11 +16,13 @@ module calls.  Workload traces are pre-materialized once into the
 on-disk trace store (:mod:`repro.workloads.store`) -- a second run
 loads them without re-executing the Fith interpreter.
 
-``--jobs N`` executes the suite in a ``ProcessPoolExecutor``.
-Sweep-shaped experiments (FIG-10/FIG-11) additionally split into one
-task per associativity, so the pool stays busy even though FIG-11
-alone is over half the serial wall-clock.  Workers share nothing but
-the immutable trace files: every machine is rebuilt per process, so
+``--jobs N`` executes the suite in a ``ProcessPoolExecutor``.  Specs
+may declare ``shards`` to split one experiment into several pool
+tasks; since the figure sweeps moved to the single-pass
+stack-distance engine (:mod:`repro.sweep`) none of the built-in suite
+needs to -- FIG-10/FIG-11 each replay their trace once for the whole
+grid and run as ordinary tasks.  Workers share nothing but the
+immutable trace files: every machine is rebuilt per process, so
 per-experiment state stays isolated.
 """
 

@@ -11,11 +11,13 @@ Two execution grains:
 
 * **monolithic** -- ``spec.runner(ctx)`` produces the finished
   :class:`~repro.experiments.common.ExperimentResult`;
-* **sharded** (optional) -- for sweep-shaped experiments the spec
-  also names ``shards`` plus ``shard_runner``/``merger``; the pool
-  executes one task per shard (each a picklable payload) and the
-  parent merges.  This keeps the pool busy even though FIG-11 alone
-  is over half the suite's serial wall-clock.
+* **sharded** (optional) -- a spec may name ``shards`` plus
+  ``shard_runner``/``merger``; the pool executes one task per shard
+  (each a picklable payload) and the parent merges.  The figure
+  sweeps used this (one shard per associativity) until the
+  single-pass stack-distance engine (:mod:`repro.sweep`) made each
+  whole grid a single cheap replay; the mechanism remains for future
+  experiments whose work genuinely splits.
 
 A :class:`RunContext` carries the run-wide knobs (scale, quick, the
 trace-store root).  It deliberately holds no live machine: every

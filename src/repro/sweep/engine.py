@@ -1,0 +1,257 @@
+"""Single-pass multi-configuration cache simulation (stack distances).
+
+The classic observation (Mattson et al. 1970, generalized to
+set-associative caches by Hill & Smith) is that LRU is a *stack
+algorithm*: at any moment the contents of an A-way LRU set are exactly
+the A most-recently-used blocks mapping to that set, for every A at
+once.  A reference therefore hits in an (S sets, A ways) cache iff
+fewer than A *distinct* conflicting blocks (same set under S) were
+touched since the previous reference to the same block.  Replaying the
+trace once while recording those per-set stack depths yields the hit
+count of every configuration simultaneously -- one trace pass instead
+of one per (size, associativity) point.
+
+Two structures implement that here:
+
+* :class:`MultiConfigLRU` -- one *level* per swept power-of-two set
+  count.  A level keeps, per set, a bounded most-recent-first list of
+  blocks: depths only matter up to the deepest swept associativity
+  (4 on the paper grid), so each list is truncated there and a
+  reference that falls off the end is simply "missed at every swept
+  way count".  Set membership under S = 2^k sets is a pure function
+  of the block's placement value (the stable hash for the ITLB's
+  hashed directory, the block address for the icache's modulo
+  indexing), so the same replay serves every level.  An optional
+  unbounded-depth level (one set) yields the fully-associative
+  reference curve and any one-set configurations.
+
+* :class:`OptStack` -- the OPT/Belady reference curve.  OPT is also a
+  stack algorithm, but its stack update needs each block's *next*
+  reference time, so it is inherently two-pass:
+  :func:`next_use_times` scans the stream backwards first, then the
+  priority-carry update (the sooner-reused block stays shallower, the
+  farther-reused one is carried down) maintains the stack on the
+  second pass.
+
+Both structures count into histograms of (capped) stack depth;
+``hits(...)`` answers are prefix sums.  Misses -- compulsory ones
+included, in the LRU levels -- land in the overflow bucket beyond
+every swept way count, and a counter ``total`` tracks measured
+references so per-configuration misses fall out by subtraction.
+``reset_counts`` zeroes counters while keeping stack state -- exactly
+what the section-5 warm-up methodology's mid-trace ``reset_stats``
+does to a live cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+#: "Never referenced again" sentinel for OPT priorities; compares
+#: greater than every real trace index.
+NEVER = float("inf")
+
+
+class MultiConfigLRU:
+    """All swept LRU configurations, updated by one block stream.
+
+    Parameters
+    ----------
+    level_caps:
+        ``log2(num_sets) -> deepest associativity swept`` for every
+        multi-set level (``num_sets`` a power of two >= 2).
+    full_cap:
+        Depth bound of the single-set level (0 disables it).  Covers
+        the fully-associative curve (bound = largest capacity in
+        entries) and any num_sets == 1 configurations.
+    """
+
+    def __init__(self, level_caps: Dict[int, int],
+                 full_cap: int = 0) -> None:
+        self._hist_by_k: Dict[int, List[int]] = {}
+        levels = []
+        for k in sorted(level_caps):
+            cap = level_caps[k]
+            if k <= 0 or cap <= 0:
+                raise ValueError(f"bad level (k={k}, cap={cap})")
+            hist = [0] * (cap + 1)
+            self._hist_by_k[k] = hist
+            levels.append(((1 << k) - 1, cap, {}, hist))
+        self._levels: Tuple = tuple(levels)
+        self._full = None
+        self._full_hist: List[int] = []
+        if full_cap:
+            self._full_hist = [0] * (full_cap + 1)
+            self._full = ([], full_cap, self._full_hist)
+        self.total = 0
+
+    # -- replay -----------------------------------------------------------
+
+    def replay(self, refs: Sequence[Tuple[Hashable, int]],
+               count: bool = True) -> None:
+        """Reference every ``(block, placement)`` pair in order.
+
+        ``placement`` is the integer whose low bits select the set
+        (stable hash or block address); ``count=False`` updates stack
+        state without recording depths (a warm-up pass).
+        """
+        levels = self._levels
+        full = self._full
+        n = 0
+        for block, placement in refs:
+            for mask, cap, sets, hist in levels:
+                bucket = placement & mask
+                lst = sets.get(bucket)
+                if lst is None:
+                    sets[bucket] = [block]
+                    if count:
+                        hist[cap] += 1
+                elif block in lst:
+                    depth = lst.index(block)
+                    if depth:
+                        del lst[depth]
+                        lst.insert(0, block)
+                    if count:
+                        hist[depth] += 1
+                else:
+                    lst.insert(0, block)
+                    if len(lst) > cap:
+                        del lst[cap]
+                    if count:
+                        hist[cap] += 1
+            if full is not None:
+                stack, fcap, fhist = full
+                try:
+                    depth = stack.index(block)
+                except ValueError:
+                    depth = fcap
+                    stack.insert(0, block)
+                    if len(stack) > fcap:
+                        del stack[fcap]
+                else:
+                    if depth:
+                        del stack[depth]
+                        stack.insert(0, block)
+                if count:
+                    fhist[depth] += 1
+            n += 1
+        if count:
+            self.total += n
+
+    def touch(self, block: Hashable, placement: int,
+              count: bool = True) -> None:
+        """Reference one block (incremental alternative to replay)."""
+        self.replay(((block, placement),), count)
+
+    def reset_counts(self) -> None:
+        """Zero every histogram and the access counter; keep stacks."""
+        for hist in self._hist_by_k.values():
+            hist[:] = [0] * len(hist)
+        if self._full_hist:
+            self._full_hist[:] = [0] * len(self._full_hist)
+        self.total = 0
+
+    # -- results ----------------------------------------------------------
+
+    def hits(self, k: int, assoc: int) -> int:
+        """Measured hits of the (2^k sets, assoc ways) configuration."""
+        return sum(self._hist_by_k[k][:assoc])
+
+    def full_hits(self, entries: int) -> int:
+        """Measured hits of a one-set LRU cache with that many entries."""
+        if self._full is None:
+            raise ValueError("single-set level was not enabled")
+        return sum(self._full_hist[:entries])
+
+
+def next_use_times(blocks: Sequence[Hashable]) -> List[float]:
+    """``result[i]`` = index of the next reference to ``blocks[i]``.
+
+    The backward scan OPT needs before its stack pass; positions with
+    no later reference get :data:`NEVER`.
+    """
+    result: List[float] = [NEVER] * len(blocks)
+    last: Dict[Hashable, int] = {}
+    for i in range(len(blocks) - 1, -1, -1):
+        block = blocks[i]
+        nxt = last.get(block)
+        if nxt is not None:
+            result[i] = nxt
+        last[block] = i
+    return result
+
+
+class OptStack:
+    """Belady's OPT for every fully-associative capacity at once.
+
+    The stack invariant: after each reference, the top C entries are
+    exactly the contents of an OPT-managed cache of capacity C.  The
+    update carries the farthest-next-use block downward (each capacity
+    evicts its own victim), so unlike LRU the repair walk needs block
+    priorities -- the next-use times from :func:`next_use_times`.
+
+    The stack is truncated at ``cap`` (the largest swept capacity):
+    blocks only ever move *down* the stack between their references,
+    so the top-``cap`` prefix evolves identically with or without the
+    deeper tail, and a truncated block's return is indistinguishable
+    from a compulsory miss at every swept capacity.
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap <= 0:
+            raise ValueError("OPT capacity bound must be positive")
+        self.cap = cap
+        self._stack: List[Hashable] = []
+        self._prio: List[float] = []
+        self.hist = [0] * (cap + 1)
+        self.total = 0
+
+    def touch(self, block: Hashable, next_use: float,
+              count: bool = True) -> None:
+        stack = self._stack
+        prio = self._prio
+        size = len(stack)
+        try:
+            depth = stack.index(block)
+        except ValueError:
+            depth = size  # a miss: the carry chain runs the whole stack
+        if size == 0:
+            stack.append(block)
+            prio.append(next_use)
+        elif depth == 0:
+            prio[0] = next_use
+        else:
+            carry_block, carry_prio = stack[0], prio[0]
+            stack[0], prio[0] = block, next_use
+            for i in range(1, depth):
+                incumbent_prio = prio[i]
+                if carry_prio < incumbent_prio:
+                    # The carried block is reused sooner: it stays at
+                    # this depth and the incumbent is carried down.
+                    stack[i], carry_block = carry_block, stack[i]
+                    prio[i], carry_prio = carry_prio, incumbent_prio
+            if depth < size:
+                stack[depth] = carry_block
+                prio[depth] = carry_prio
+            else:
+                # Miss: every capacity admitted the block and evicted
+                # its own farthest-reuse victim; the final carry drops
+                # off (or grows the stack up to the truncation bound).
+                stack.append(carry_block)
+                prio.append(carry_prio)
+                if len(stack) > self.cap:
+                    del stack[self.cap:]
+                    del prio[self.cap:]
+        if count:
+            self.total += 1
+            if depth < size:
+                cap = self.cap
+                self.hist[depth if depth < cap else cap] += 1
+
+    def reset_counts(self) -> None:
+        self.hist[:] = [0] * len(self.hist)
+        self.total = 0
+
+    def hits(self, capacity: int) -> int:
+        """Measured hits of an OPT-managed cache of that capacity."""
+        return sum(self.hist[:capacity])

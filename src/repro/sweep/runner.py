@@ -1,0 +1,269 @@
+"""Drivers: a SweepSpec plus a trace -> a ResultSurface.
+
+``run_sweep`` picks the execution engine per spec:
+
+* **single-pass** (:class:`~repro.sweep.engine.MultiConfigLRU`) when
+  the spec is LRU with power-of-two set counts -- one simulation
+  replay of the trace (two under the paper's double-pass warm-up)
+  produces every grid cell at once;
+* **grid** otherwise (or on request) -- one
+  :func:`~repro.trace.cachesim.simulate_itlb` /
+  :func:`~repro.trace.cachesim.simulate_icache` call per cell, which
+  supports any replacement policy and geometry.
+
+Both paths produce *bitwise identical* hit ratios for LRU specs: the
+single-pass driver mirrors the warm-up window semantics of the
+``simulate_*`` functions exactly, including their documented edge
+behaviours (the warm-up cut index is computed over the raw event
+stream; for the ITLB a cut landing on a non-dispatched event never
+resets; ``simulate_icache`` has no end-of-trace reset).  The
+equivalence is pinned by tests/test_sweep.py.
+
+``meta["trace_passes"]`` counts *simulation replays* of the event
+stream -- the number of times a cache model observed every reference.
+Cheap preprocessing (building the filtered reference list, the OPT
+next-use scan) is not a simulation replay and is reported separately
+as ``meta["aux_passes"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.caches.setassoc import stable_hash
+from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
+from repro.sweep.spec import HierarchySpec, SweepSpec
+from repro.sweep.surface import Cell, ResultSurface
+from repro.trace.cachesim import simulate_icache, simulate_itlb
+from repro.trace.events import TraceEvent
+
+#: One reference: (block identity, placement integer).
+Ref = Tuple[object, int]
+
+
+# -- reference streams ----------------------------------------------------
+
+def _itlb_refs(events: Sequence[TraceEvent],
+               dispatched_only: bool) -> List[Ref]:
+    """The (key, stable hash) stream the ITLB sees."""
+    hashes: Dict[Tuple, int] = {}
+    refs: List[Ref] = []
+    append = refs.append
+    for event in events:
+        if dispatched_only and not event.dispatched:
+            continue
+        key = (event.opcode, (event.receiver_class,))
+        placement = hashes.get(key)
+        if placement is None:
+            placement = hashes[key] = stable_hash(key)
+        append((key, placement))
+    return refs
+
+
+def _icache_refs(events: Sequence[TraceEvent],
+                 line_words: int) -> List[Ref]:
+    """The (block, block) stream the icache sees (modulo indexing)."""
+    if line_words == 1:
+        return [(event.address, event.address) for event in events]
+    return [(event.address // line_words, event.address // line_words)
+            for event in events]
+
+
+def _reset_touch(spec: SweepSpec, events: Sequence[TraceEvent],
+                 n_refs: int) -> Optional[int]:
+    """Where in the *reference* stream the warm-up stats reset lands.
+
+    Mirrors the simulate_* loops reference-for-reference: the cut
+    index is computed over raw events; a value of ``n_refs`` means
+    "reset after the last reference" (everything measured away), and
+    ``None`` means the reset never fires.
+    """
+    cut = int(len(events) * spec.warmup_fraction)
+    if spec.cache == "icache":
+        # simulate_icache resets iff the loop reaches index == cut;
+        # there is no end-of-trace reset.
+        return cut if cut < len(events) else None
+    if cut >= len(events):
+        return n_refs  # simulate_itlb's trailing reset
+    if spec.dispatched_only and not events[cut].dispatched:
+        return None    # the cut event is filtered out: never resets
+    return sum(1 for event in events[:cut]
+               if not spec.dispatched_only or event.dispatched)
+
+
+# -- the single-pass path --------------------------------------------------
+
+def _geometry(spec: SweepSpec) -> Tuple[Dict[int, int], int]:
+    """(level caps keyed by log2(num_sets), single-set depth bound)."""
+    level_caps: Dict[int, int] = {}
+    full_cap = 0
+    for size, assoc in spec.lru_configs():
+        sets = spec.num_sets(size, assoc)
+        if sets == 1:
+            full_cap = max(full_cap, assoc)
+        else:
+            k = sets.bit_length() - 1
+            level_caps[k] = max(level_caps.get(k, 0), assoc)
+    if spec.wants_full_curve():
+        full_cap = max(full_cap, max(spec.entries(s) for s in spec.sizes))
+    return level_caps, full_cap
+
+
+def _run_single_pass(spec: SweepSpec,
+                     events: Sequence[TraceEvent]) -> ResultSurface:
+    refs = (_itlb_refs(events, spec.dispatched_only)
+            if spec.cache == "itlb"
+            else _icache_refs(events, spec.line_words))
+    level_caps, full_cap = _geometry(spec)
+    engine = MultiConfigLRU(level_caps, full_cap)
+    opt = OptStack(max(spec.entries(s) for s in spec.sizes)) \
+        if spec.include_opt else None
+
+    passes = 0
+    aux = 1  # the reference-stream build
+    if spec.double_pass:
+        engine.replay(refs, count=False)
+        engine.replay(refs, count=True)
+        passes += 2
+        if opt is not None:
+            blocks = [block for block, _ in refs]
+            next_use = next_use_times(blocks + blocks)
+            warm = len(blocks)
+            for i, block in enumerate(blocks):
+                opt.touch(block, next_use[i], count=False)
+            for i, block in enumerate(blocks):
+                opt.touch(block, next_use[warm + i], count=True)
+            passes += 2
+            aux += 1
+    else:
+        reset_at = _reset_touch(spec, events, len(refs))
+        # Counting-then-resetting is the same as not counting (state
+        # evolution never depends on the counters), so the warm-up
+        # window splits into two bulk replays around the reset point.
+        if reset_at is None:
+            engine.replay(refs, count=True)
+        else:
+            engine.replay(refs[:reset_at], count=False)
+            engine.replay(refs[reset_at:], count=True)
+        passes += 1
+        if opt is not None:
+            next_use = next_use_times([block for block, _ in refs])
+            aux += 1
+            for index, (block, _) in enumerate(refs):
+                opt.touch(block, next_use[index],
+                          count=(reset_at is None or index >= reset_at))
+            passes += 1
+
+    total = engine.total
+    counts: Dict[object, Dict[int, Cell]] = {}
+    columns = list(spec.associativities)
+    if spec.include_full and "full" not in columns:
+        columns.append("full")
+    for assoc in columns:
+        row: Dict[int, Cell] = {}
+        for size in spec.sizes:
+            if assoc == "full":
+                hits = engine.full_hits(spec.entries(size))
+            else:
+                sets = spec.num_sets(size, assoc)
+                if sets == 1:
+                    hits = engine.full_hits(assoc)
+                else:
+                    hits = engine.hits(sets.bit_length() - 1, assoc)
+            row[size] = (hits, total - hits)
+        counts[assoc] = row
+
+    opt_counts = None
+    if opt is not None:
+        opt_counts = {size: (opt.hits(spec.entries(size)),
+                             opt.total - opt.hits(spec.entries(size)))
+                      for size in spec.sizes}
+    return ResultSurface(spec, counts, opt_counts, {
+        "engine": "single-pass",
+        "trace_passes": passes,
+        "aux_passes": aux,
+        "events": len(events),
+        "references": len(refs),
+        "measured": total,
+    })
+
+
+# -- the per-configuration grid path ---------------------------------------
+
+def _simulate_cell(spec: SweepSpec, events: Sequence[TraceEvent],
+                   size: int, assoc) -> Cell:
+    kwargs = dict(policy=spec.policy,
+                  warmup_fraction=spec.warmup_fraction,
+                  double_pass=spec.double_pass)
+    if spec.cache == "itlb":
+        stats = simulate_itlb(events, size, assoc,
+                              dispatched_only=spec.dispatched_only,
+                              **kwargs)
+    else:
+        stats = simulate_icache(events, size, assoc,
+                                line_words=spec.line_words, **kwargs)
+    return stats.hits, stats.misses
+
+
+def _run_grid(spec: SweepSpec,
+              events: Sequence[TraceEvent]) -> ResultSurface:
+    per_sim = 2 if spec.double_pass else 1
+    passes = 0
+    counts: Dict[object, Dict[int, Cell]] = {}
+    columns = list(spec.associativities)
+    if spec.include_full and "full" not in columns:
+        columns.append("full")
+    for assoc in columns:
+        row: Dict[int, Cell] = {}
+        for size in spec.sizes:
+            row[size] = _simulate_cell(spec, events, size, assoc)
+            passes += per_sim
+        counts[assoc] = row
+
+    # OPT has no per-configuration simulator: the stack engine is the
+    # only implementation, so the reference curve is computed the
+    # single-pass way even under the grid engine.
+    opt_counts = None
+    aux = 0
+    if spec.include_opt:
+        opt_spec = SweepSpec(
+            cache=spec.cache, sizes=spec.sizes, associativities=(1,),
+            line_words=spec.line_words,
+            warmup_fraction=spec.warmup_fraction,
+            double_pass=spec.double_pass,
+            dispatched_only=spec.dispatched_only,
+            include_opt=True, engine="single-pass")
+        opt_surface = _run_single_pass(opt_spec, events)
+        opt_counts = opt_surface.opt_counts
+        passes += 2 if spec.double_pass else 1
+        aux = opt_surface.meta["aux_passes"]
+    return ResultSurface(spec, counts, opt_counts, {
+        "engine": "grid",
+        "trace_passes": passes,
+        "aux_passes": aux,
+        "events": len(events),
+        "configurations": sum(len(row) for row in counts.values()),
+    })
+
+
+# -- public entry points ---------------------------------------------------
+
+def run_sweep(spec: SweepSpec,
+              events: Sequence[TraceEvent]) -> ResultSurface:
+    """Execute one sweep over a trace, choosing the engine per spec."""
+    if spec.engine == "grid":
+        return _run_grid(spec, events)
+    eligible = spec.single_pass_eligible()
+    if spec.engine == "single-pass" and not eligible:
+        raise ValueError(
+            f"spec is not single-pass eligible (policy={spec.policy!r}; "
+            f"set counts must be powers of two): {spec}")
+    if eligible:
+        return _run_single_pass(spec, events)
+    return _run_grid(spec, events)
+
+
+def run_hierarchy(hierarchy: HierarchySpec,
+                  events: Sequence[TraceEvent]) -> Tuple[ResultSurface, ...]:
+    """Run every level of a hierarchy over one trace, in order."""
+    return tuple(run_sweep(level, events) for level in hierarchy.levels)

@@ -1,0 +1,146 @@
+"""The hit-ratio surface a sweep produces, with grid queries.
+
+A :class:`ResultSurface` stores measured (hits, misses) for every
+grid cell plus the optional reference curves, and answers the
+questions the figures and experiments ask: point ratios, iso-ratio
+thresholds ("smallest size reaching 99%"), whole curves, and
+figure-shaped extraction (a
+:class:`~repro.trace.cachesim.SweepResult` for the existing table and
+ASCII-plot rendering).  Ratios are computed exactly as
+:class:`~repro.caches.stats.CacheStats` computes them (integer hit
+and access counts, one float division), which is what makes the
+single-pass engine's figures bitwise identical to the per-config
+grid's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.caches.stats import CacheStats
+
+Assoc = Union[int, str]
+#: (hits, misses) for one grid cell.
+Cell = Tuple[int, int]
+
+
+def _ratio(cell: Cell) -> float:
+    hits, misses = cell
+    accesses = hits + misses
+    if accesses == 0:
+        return 0.0
+    return hits / accesses
+
+
+@dataclass
+class ResultSurface:
+    """Hit counts over a size x associativity grid plus reference curves.
+
+    ``counts[assoc][size]`` holds measured ``(hits, misses)``;
+    ``opt_counts`` the OPT/Belady curve when the spec asked for it.
+    ``meta`` records provenance: which engine ran, how many simulation
+    passes over the trace it took, and the measured access count.
+    """
+
+    spec: object                      # the SweepSpec that produced this
+    counts: Dict[Assoc, Dict[int, Cell]]
+    opt_counts: Optional[Dict[int, Cell]] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- point queries ----------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return self.spec.display_label
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(self.spec.sizes)
+
+    @property
+    def associativities(self) -> Tuple[Assoc, ...]:
+        return tuple(self.counts)
+
+    def cell(self, associativity: Assoc, size: int) -> Cell:
+        return self.counts[associativity][size]
+
+    def ratio(self, associativity: Assoc, size: int) -> float:
+        return _ratio(self.cell(associativity, size))
+
+    def stats(self, associativity: Assoc, size: int) -> CacheStats:
+        """The cell as a CacheStats (fills mirror misses: every miss
+        fills; evictions/invalidations are not tracked per cell)."""
+        hits, misses = self.cell(associativity, size)
+        return CacheStats(hits=hits, misses=misses, fills=misses)
+
+    def opt_ratio(self, size: int) -> float:
+        if self.opt_counts is None:
+            raise ValueError("sweep did not request the OPT curve")
+        return _ratio(self.opt_counts[size])
+
+    # -- grid queries -----------------------------------------------------
+
+    def grid(self) -> Iterator[Tuple[int, Assoc, float]]:
+        """Every (size, associativity, hit ratio) cell, row-major."""
+        for associativity, row in self.counts.items():
+            for size in row:
+                yield size, associativity, _ratio(row[size])
+
+    def curve(self, associativity: Assoc) -> List[Tuple[int, float]]:
+        """(size, ratio) along one associativity, in swept order."""
+        row = self.counts[associativity]
+        return [(size, _ratio(row[size])) for size in row]
+
+    def smallest_size_reaching(self, target: float,
+                               associativity: Assoc) -> Optional[int]:
+        """Smallest swept size whose hit ratio meets ``target``.
+
+        Sizes are considered in ascending order regardless of the
+        order they were swept in.
+        """
+        row = self.counts[associativity]
+        for size in sorted(row):
+            if _ratio(row[size]) >= target:
+                return size
+        return None
+
+    def isoratio(self, target: float) -> Dict[Assoc, Optional[int]]:
+        """The iso-hit-ratio threshold for every swept associativity."""
+        return {assoc: self.smallest_size_reaching(target, assoc)
+                for assoc in self.counts}
+
+    # -- figure-shaped extraction -----------------------------------------
+
+    def to_sweep_result(self, label: Optional[str] = None):
+        """The LRU grid as a legacy SweepResult (tables, ASCII plots).
+
+        Every LRU column is carried over -- including the ``"full"``
+        column when the spec asked for it -- but the OPT reference
+        curve stays on the surface, so the figure paths (which request
+        neither) render exactly as they did in the per-config era.
+        """
+        from repro.trace.cachesim import SweepResult
+        ratios = {assoc: {size: _ratio(row[size]) for size in row}
+                  for assoc, row in self.counts.items()}
+        return SweepResult(label or self.label, self.sizes,
+                           tuple(self.counts), ratios, dict(self.meta))
+
+    def table(self) -> str:
+        """A figure-style table including any reference curves."""
+        columns: List[Tuple[str, Dict[int, Cell]]] = [
+            (f"{assoc}-way" if assoc != "full" else "full",
+             self.counts[assoc])
+            for assoc in self.counts]
+        if self.opt_counts is not None:
+            columns.append(("OPT", self.opt_counts))
+        header = "log2(size)  size " + "".join(
+            f"{name:>10}" for name, _ in columns)
+        lines = [f"{self.label} hit ratio vs cache size", header,
+                 "-" * len(header)]
+        for size in self.sizes:
+            row = f"{size.bit_length() - 1:10d} {size:5d}"
+            for _, cells in columns:
+                row += f"{_ratio(cells[size]):10.4f}"
+            lines.append(row)
+        return "\n".join(lines)

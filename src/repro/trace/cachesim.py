@@ -105,7 +105,9 @@ class SweepResult:
     """Hit ratios over a size x associativity grid.
 
     ``ratios[assoc][size]`` is the measured hit ratio.  ``label`` names
-    the cache being swept ("ITLB" or "instruction cache").
+    the cache being swept ("ITLB" or "instruction cache").  ``meta``
+    records how the grid was computed (engine, simulation pass count)
+    when it came out of the sweep subsystem.
     """
 
     label: str
@@ -113,6 +115,7 @@ class SweepResult:
     associativities: Sequence[Union[int, str]]
     ratios: Dict[Union[int, str], Dict[int, float]] = field(
         default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def ratio(self, associativity, size) -> float:
         return self.ratios[associativity][size]
@@ -145,14 +148,21 @@ def sweep_itlb(
     associativities: Sequence[Union[int, str]] = PAPER_ASSOCIATIVITIES,
     **kwargs,
 ) -> SweepResult:
-    """Figure 10's grid: ITLB hit ratio for each size/associativity."""
-    result = SweepResult("ITLB", sizes, associativities)
-    for associativity in associativities:
-        result.ratios[associativity] = {}
-        for size in sizes:
-            stats = simulate_itlb(events, size, associativity, **kwargs)
-            result.ratios[associativity][size] = stats.hit_ratio
-    return result
+    """Figure 10's grid: ITLB hit ratio for each size/associativity.
+
+    Routed through the sweep subsystem (:mod:`repro.sweep`): LRU
+    grids with power-of-two set counts are computed by the
+    single-pass stack-distance engine (one trace replay for the whole
+    grid) and other specs by per-configuration simulation; both paths
+    return bitwise-identical ratios.  Keyword arguments become
+    :class:`~repro.sweep.spec.SweepSpec` fields (``policy``,
+    ``warmup_fraction``, ``double_pass``, ``dispatched_only``,
+    ``engine``, ...).
+    """
+    from repro.sweep import SweepSpec, run_sweep
+    spec = SweepSpec(cache="itlb", sizes=tuple(sizes),
+                     associativities=tuple(associativities), **kwargs)
+    return run_sweep(spec, events).to_sweep_result()
 
 
 def sweep_icache(
@@ -161,14 +171,15 @@ def sweep_icache(
     associativities: Sequence[Union[int, str]] = PAPER_ASSOCIATIVITIES,
     **kwargs,
 ) -> SweepResult:
-    """Figure 11's grid: instruction-cache hit ratio per configuration."""
-    result = SweepResult("instruction cache", sizes, associativities)
-    for associativity in associativities:
-        result.ratios[associativity] = {}
-        for size in sizes:
-            stats = simulate_icache(events, size, associativity, **kwargs)
-            result.ratios[associativity][size] = stats.hit_ratio
-    return result
+    """Figure 11's grid: instruction-cache hit ratio per configuration.
+
+    See :func:`sweep_itlb`; the icache spec additionally takes
+    ``line_words``.
+    """
+    from repro.sweep import SweepSpec, run_sweep
+    spec = SweepSpec(cache="icache", sizes=tuple(sizes),
+                     associativities=tuple(associativities), **kwargs)
+    return run_sweep(spec, events).to_sweep_result()
 
 
 def ascii_plot(result: SweepResult, width: int = 60,

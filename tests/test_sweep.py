@@ -1,0 +1,399 @@
+"""Tests for the single-pass sweep subsystem (repro.sweep).
+
+The load-bearing guarantee is *bitwise equivalence*: for every LRU
+configuration on a power-of-two grid, the stack-distance engine must
+produce exactly the hit/miss counts (and therefore bit-identical
+float ratios) that per-configuration ``simulate_itlb`` /
+``simulate_icache`` runs produce — across every warm-up window
+variant, including the quirky ones pinned in test_tracesim.py.  CI
+runs the equivalence tests by name (``-k equivalence``) as a
+dedicated gate.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.experiments import fig10, fig11
+from repro.experiments.registry import get as get_experiment
+from repro.sweep import (
+    HierarchySpec,
+    PAPER_SIZES,
+    SweepSpec,
+    next_use_times,
+    paper_hierarchy,
+    run_hierarchy,
+    run_sweep,
+)
+from repro.trace.cachesim import simulate_icache, simulate_itlb
+from repro.trace.events import TraceEvent
+
+
+def _mixed_trace(n=4000, seed=7):
+    """Phased locality + random stragglers + a non-dispatched mix."""
+    rnd = random.Random(seed)
+    events = []
+    for i in range(n):
+        if rnd.random() < 0.3:
+            address = rnd.randrange(600)
+        else:
+            address = (i * 7) % 97 + (i // 500) * 64
+        events.append(TraceEvent(address, rnd.randrange(60),
+                                 rnd.randrange(5),
+                                 dispatched=rnd.random() < 0.7))
+    return events
+
+
+@pytest.fixture(scope="module")
+def events():
+    return _mixed_trace()
+
+
+GRID = dict(sizes=PAPER_SIZES, associativities=(1, 2, 4, "full"))
+
+WINDOWS = [
+    {"double_pass": True},
+    {"warmup_fraction": 0.25},
+    {"warmup_fraction": 0.0},
+    {"warmup_fraction": 1.0},
+]
+
+
+class TestSinglePassGridEquivalence:
+    """The acceptance-critical pins: engine == grid, bitwise."""
+
+    @pytest.mark.parametrize("window", WINDOWS,
+                             ids=[str(w) for w in WINDOWS])
+    def test_itlb_equivalence(self, events, window):
+        spec = SweepSpec("itlb", engine="single-pass", **GRID, **window)
+        surface = run_sweep(spec, events)
+        for assoc in GRID["associativities"]:
+            for size in PAPER_SIZES:
+                stats = simulate_itlb(events, size, assoc, **window)
+                assert surface.cell(assoc, size) == (stats.hits,
+                                                     stats.misses)
+                assert surface.ratio(assoc, size) == stats.hit_ratio
+
+    @pytest.mark.parametrize("window", WINDOWS,
+                             ids=[str(w) for w in WINDOWS])
+    def test_icache_equivalence(self, events, window):
+        spec = SweepSpec("icache", engine="single-pass", **GRID,
+                         **window)
+        surface = run_sweep(spec, events)
+        for assoc in GRID["associativities"]:
+            for size in PAPER_SIZES:
+                stats = simulate_icache(events, size, assoc, **window)
+                assert surface.cell(assoc, size) == (stats.hits,
+                                                     stats.misses)
+                assert surface.ratio(assoc, size) == stats.hit_ratio
+
+    def test_equivalence_with_line_words(self, events):
+        spec = SweepSpec("icache", sizes=(16, 64, 1024),
+                         associativities=(1, 2), line_words=4,
+                         double_pass=True, engine="single-pass")
+        surface = run_sweep(spec, events)
+        for assoc in (1, 2):
+            for size in (16, 64, 1024):
+                stats = simulate_icache(events, size, assoc,
+                                        line_words=4, double_pass=True)
+                assert surface.cell(assoc, size) == (stats.hits,
+                                                     stats.misses)
+
+    def test_equivalence_unfiltered_itlb(self, events):
+        spec = SweepSpec("itlb", sizes=(32, 256), associativities=(2,),
+                         dispatched_only=False, double_pass=True,
+                         engine="single-pass")
+        surface = run_sweep(spec, events)
+        for size in (32, 256):
+            stats = simulate_itlb(events, size, 2,
+                                  dispatched_only=False,
+                                  double_pass=True)
+            assert surface.cell(2, size) == (stats.hits, stats.misses)
+
+    def test_equivalence_when_cut_lands_on_non_dispatched(self):
+        # The never-resetting warm-up quirk must carry over exactly.
+        events = [TraceEvent(i % 9, i % 4, 1, dispatched=(i != 10))
+                  for i in range(20)]
+        spec = SweepSpec("itlb", sizes=(8, 16), associativities=(1, 2),
+                         warmup_fraction=0.5, engine="single-pass")
+        surface = run_sweep(spec, events)
+        for assoc in (1, 2):
+            for size in (8, 16):
+                stats = simulate_itlb(events, size, assoc,
+                                      warmup_fraction=0.5)
+                assert surface.cell(assoc, size) == (stats.hits,
+                                                     stats.misses)
+
+    def test_equivalence_one_set_configuration(self, events):
+        # size == associativity: a single set, served by the
+        # unbounded-depth level rather than a masked one.
+        spec = SweepSpec("itlb", sizes=(16,), associativities=(16,),
+                         double_pass=True, engine="single-pass")
+        surface = run_sweep(spec, events)
+        stats = simulate_itlb(events, 16, 16, double_pass=True)
+        assert surface.cell(16, 16) == (stats.hits, stats.misses)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 25),
+                              st.booleans()),
+                    min_size=5, max_size=150),
+           st.sampled_from([{"double_pass": True},
+                            {"warmup_fraction": 0.33}]))
+    def test_property_equivalence(self, rows, window):
+        events = [TraceEvent(address, opcode, opcode % 3, dispatched)
+                  for address, opcode, dispatched in rows]
+        spec = SweepSpec("icache", sizes=(8, 32, 128),
+                         associativities=(1, 2, "full"),
+                         engine="single-pass", **window)
+        surface = run_sweep(spec, events)
+        for assoc in (1, 2, "full"):
+            for size in (8, 32, 128):
+                stats = simulate_icache(events, size, assoc, **window)
+                assert surface.cell(assoc, size) == (stats.hits,
+                                                     stats.misses)
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_cache_engine_policy(self):
+        with pytest.raises(ValueError, match="cache kind"):
+            SweepSpec("dcache")
+        with pytest.raises(ValueError, match="engine"):
+            SweepSpec("itlb", engine="psychic")
+        with pytest.raises(ValueError, match="policy"):
+            SweepSpec("itlb", policy="mru")
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="associativity"):
+            SweepSpec("itlb", sizes=(8,), associativities=(3,))
+        with pytest.raises(ValueError, match="line_words"):
+            SweepSpec("itlb", sizes=(8,), line_words=2)
+        with pytest.raises(ValueError, match="line_words"):
+            SweepSpec("icache", sizes=(8,), line_words=3)
+        with pytest.raises(ValueError, match="at least one"):
+            SweepSpec("itlb", sizes=())
+
+    def test_eligibility(self):
+        assert SweepSpec("itlb").single_pass_eligible()
+        assert not SweepSpec("itlb", policy="fifo").single_pass_eligible()
+        # 24 entries, 2-way: 12 sets is not a power of two.
+        assert not SweepSpec("itlb", sizes=(24,),
+                             associativities=(2,)).single_pass_eligible()
+
+    def test_forced_single_pass_on_ineligible_spec_raises(self, events):
+        spec = SweepSpec("itlb", policy="fifo", engine="single-pass")
+        with pytest.raises(ValueError, match="not single-pass eligible"):
+            run_sweep(spec, events)
+
+    def test_hierarchy_validation(self):
+        with pytest.raises(ValueError, match="at least one level"):
+            HierarchySpec("empty", ())
+        with pytest.raises(ValueError, match="duplicate"):
+            HierarchySpec("dup", (SweepSpec("itlb"), SweepSpec("itlb")))
+
+
+class TestGridFallback:
+    def test_fifo_policy_falls_back_and_matches_simulate(self, events):
+        spec = SweepSpec("itlb", sizes=(32, 128), associativities=(2,),
+                         policy="fifo", double_pass=True)
+        surface = run_sweep(spec, events)
+        assert surface.meta["engine"] == "grid"
+        for size in (32, 128):
+            stats = simulate_itlb(events, size, 2, policy="fifo",
+                                  double_pass=True)
+            assert surface.cell(2, size) == (stats.hits, stats.misses)
+
+    def test_grid_pass_accounting(self, events):
+        spec = SweepSpec("icache", sizes=(8, 16), associativities=(1, 2),
+                         double_pass=True, engine="grid")
+        surface = run_sweep(spec, events)
+        assert surface.meta["trace_passes"] == 2 * 2 * 2  # cells x warm
+        single = run_sweep(
+            SweepSpec("icache", sizes=(8, 16), associativities=(1, 2),
+                      double_pass=True, engine="single-pass"), events)
+        assert single.meta["trace_passes"] == 2
+        assert single.counts == surface.counts
+
+
+class TestReferenceCurves:
+    def _belady_hits(self, blocks, size):
+        next_use = next_use_times(blocks)
+        cache, current, hits = set(), {}, 0
+        for i, block in enumerate(blocks):
+            if block in cache:
+                hits += 1
+            current[block] = next_use[i]
+            if block not in cache:
+                if len(cache) >= size:
+                    victim = max(cache,
+                                 key=lambda b: (current[b], repr(b)))
+                    cache.remove(victim)
+                cache.add(block)
+        return hits
+
+    def test_opt_matches_brute_force_belady(self):
+        rnd = random.Random(3)
+        for _ in range(10):
+            events = [TraceEvent(rnd.randrange(24), 1, 1)
+                      for _ in range(rnd.randrange(50, 300))]
+            spec = SweepSpec("icache", sizes=(1, 2, 4, 8, 16, 32),
+                             associativities=(1,), warmup_fraction=0.0,
+                             include_opt=True, engine="single-pass")
+            surface = run_sweep(spec, events)
+            blocks = [event.address for event in events]
+            for size in spec.sizes:
+                hits, _ = surface.opt_counts[size]
+                assert hits == self._belady_hits(blocks, size)
+
+    def test_opt_dominates_lru_at_every_size(self, events):
+        spec = SweepSpec("icache", sizes=(8, 64, 512),
+                         associativities=(1,), warmup_fraction=0.0,
+                         include_full=True, include_opt=True)
+        surface = run_sweep(spec, events)
+        for size in spec.sizes:
+            assert surface.opt_ratio(size) >= surface.ratio("full", size)
+
+    def test_full_column_matches_full_simulation(self, events):
+        spec = SweepSpec("itlb", sizes=(16, 64), associativities=(2,),
+                         double_pass=True, include_full=True)
+        surface = run_sweep(spec, events)
+        assert "full" in surface.associativities
+        for size in (16, 64):
+            stats = simulate_itlb(events, size, "full",
+                                  double_pass=True)
+            assert surface.cell("full", size) == (stats.hits,
+                                                  stats.misses)
+
+    def test_opt_available_under_grid_engine(self, events):
+        spec = SweepSpec("icache", sizes=(8, 32), associativities=(2,),
+                         policy="fifo", warmup_fraction=0.0,
+                         include_opt=True)
+        surface = run_sweep(spec, events)
+        assert surface.meta["engine"] == "grid"
+        assert set(surface.opt_counts) == {8, 32}
+
+
+class TestResultSurface:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return run_sweep(
+            SweepSpec("itlb", sizes=(8, 32, 128),
+                      associativities=(1, 2), double_pass=True,
+                      include_opt=True),
+            _mixed_trace(1500, seed=11))
+
+    def test_grid_iteration(self, surface):
+        cells = list(surface.grid())
+        assert len(cells) == 6
+        assert all(0.0 <= ratio <= 1.0 for _, _, ratio in cells)
+
+    def test_curves_and_isoratio(self, surface):
+        curve = surface.curve(2)
+        assert [size for size, _ in curve] == [8, 32, 128]
+        ratios = dict(curve)
+        threshold = surface.smallest_size_reaching(0.5, 2)
+        assert threshold is None or ratios[threshold] >= 0.5
+        assert set(surface.isoratio(0.5)) == {1, 2}
+        assert surface.smallest_size_reaching(1.1, 2) is None
+
+    def test_stats_view(self, surface):
+        stats = surface.stats(2, 32)
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.hit_ratio == surface.ratio(2, 32)
+
+    def test_to_sweep_result_keeps_figure_shape(self, surface):
+        legacy = surface.to_sweep_result()
+        assert legacy.label == "ITLB"
+        assert legacy.ratio(2, 32) == surface.ratio(2, 32)
+        assert legacy.meta["engine"] == "single-pass"
+        assert "2-way" in legacy.table()
+
+    def test_table_includes_reference_columns(self, surface):
+        table = surface.table()
+        assert "OPT" in table and "1-way" in table
+
+    def test_opt_ratio_requires_opt(self, events):
+        surface = run_sweep(SweepSpec("itlb", sizes=(8,),
+                                      associativities=(1,)), events)
+        with pytest.raises(ValueError, match="OPT"):
+            surface.opt_ratio(8)
+
+
+class TestHierarchy:
+    def test_paper_hierarchy_runs_both_levels(self, events):
+        itlb, icache = run_hierarchy(paper_hierarchy(), events)
+        assert itlb.label == "ITLB"
+        assert icache.label == "instruction cache"
+        assert itlb.meta["engine"] == "single-pass"
+        assert itlb.meta["trace_passes"] == 2
+        assert icache.meta["trace_passes"] == 2
+
+    def test_figures_match_legacy_sweep_helpers(self, events):
+        from repro.trace.cachesim import sweep_icache, sweep_itlb
+        itlb, icache = run_hierarchy(paper_hierarchy(), events)
+        legacy_itlb = sweep_itlb(events, double_pass=True)
+        legacy_icache = sweep_icache(events, double_pass=True)
+        for assoc in (1, 2, 4):
+            for size in PAPER_SIZES:
+                assert itlb.ratio(assoc, size) == \
+                    legacy_itlb.ratio(assoc, size)
+                assert icache.ratio(assoc, size) == \
+                    legacy_icache.ratio(assoc, size)
+
+
+class TestExperimentIntegration:
+    def test_fig10_runs_on_the_engine(self, events):
+        result = fig10.run(events=events, plot=False)
+        assert result.data["engine"] == "single-pass"
+        assert result.data["trace_passes"] == 2
+
+    def test_fig11_runs_on_the_engine(self, events):
+        result = fig11.run(events=events, plot=False)
+        assert result.data["engine"] == "single-pass"
+        assert result.data["trace_passes"] == 2
+
+    def test_figure_specs_are_unsharded_single_tasks(self):
+        assert get_experiment("FIG-10").shards == ()
+        assert get_experiment("FIG-11").shards == ()
+
+
+class TestCli:
+    def test_sweep_command(self, tmp_path, capsys):
+        code = cli_main(["sweep", "monomorphic", "--quick",
+                         "--sizes", "8,64", "--assoc", "1,2,full",
+                         "--opt", "--trace-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ITLB hit ratio vs cache size" in out
+        assert "instruction cache hit ratio vs cache size" in out
+        assert "OPT" in out
+        assert "engine: single-pass" in out
+
+    def test_sweep_single_cache_with_warmup_and_plot(self, tmp_path,
+                                                     capsys):
+        code = cli_main(["sweep", "monomorphic", "--quick",
+                         "--cache", "icache", "--sizes", "8,16",
+                         "--assoc", "1", "--warmup", "0.5", "--plot",
+                         "--trace-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fraction 0.5" in out
+        assert "legend" in out           # the ASCII plot rendered
+        assert "ITLB" not in out
+
+    def test_sweep_rejects_bad_grids(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--sizes", "eight",
+                      "--trace-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--assoc", "semi",
+                      "--trace-dir", str(tmp_path)])
+
+    def test_list_workloads_show_params(self, capsys):
+        assert cli_main(["list", "--workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "defaults: " in out
+        assert "phase_length=700" in out      # the paper defaults
+        assert "quick:    phase_length=280" in out
+        assert "v1" in out                    # generator version

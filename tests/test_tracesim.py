@@ -154,6 +154,87 @@ class TestSweeps:
         assert plot.count("\n") > 10
 
 
+class TestWarmupEdgeCases:
+    """Pin the warm-up window semantics, including the documented
+    quirks -- the single-pass sweep engine replicates these
+    reference-for-reference (see repro/sweep), so they are
+    characterization tests, not aspirations."""
+
+    def _events(self, n=40):
+        return [TraceEvent(i % 7, i % 5, 1) for i in range(n)]
+
+    def test_zero_warmup_measures_everything(self):
+        events = self._events()
+        itlb = simulate_itlb(events, 16, 2, warmup_fraction=0.0)
+        assert itlb.accesses == len(events)
+        icache = simulate_icache(events, 16, 2, warmup_fraction=0.0)
+        assert icache.accesses == len(events)
+
+    def test_tiny_trace_rounding(self):
+        # int() truncation: 3 events at 0.25 rounds the cut to zero,
+        # 0.5 cuts one event, 0.9 cuts two.
+        events = self._events(3)
+        assert simulate_icache(events, 8, 1,
+                               warmup_fraction=0.25).accesses == 3
+        assert simulate_icache(events, 8, 1,
+                               warmup_fraction=0.5).accesses == 2
+        assert simulate_icache(events, 8, 1,
+                               warmup_fraction=0.9).accesses == 1
+
+    def test_whole_trace_warmup_itlb_yields_empty_stats(self):
+        stats = simulate_itlb(self._events(), 16, 2,
+                              warmup_fraction=1.0)
+        assert stats.accesses == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_whole_trace_warmup_icache_quirk_measures_everything(self):
+        # simulate_icache resets only when the loop reaches the cut
+        # index; a cut at len(events) never fires, so (unlike the
+        # ITLB) the whole trace lands in the stats.
+        events = self._events()
+        stats = simulate_icache(events, 16, 2, warmup_fraction=1.0)
+        assert stats.accesses == len(events)
+
+    def test_cut_on_non_dispatched_event_never_resets(self):
+        # The dispatched filter is applied before the cut check, so a
+        # warm-up boundary landing on a non-dispatched event means the
+        # reset never happens and every dispatched event is measured.
+        events = [TraceEvent(i, i % 3, 1, dispatched=(i != 10))
+                  for i in range(20)]
+        stats = simulate_itlb(events, 16, 2, warmup_fraction=0.5)
+        assert stats.accesses == 19  # all dispatched, warm-up included
+
+    def test_cut_on_dispatched_event_excludes_warmup(self):
+        events = [TraceEvent(i, i % 3, 1) for i in range(20)]
+        stats = simulate_itlb(events, 16, 2, warmup_fraction=0.5)
+        assert stats.accesses == 10
+
+    def test_double_pass_equals_doubled_trace_with_half_warmup(self):
+        # "A warmup trace was run before the measurement trace": the
+        # double-pass flag is exactly a doubled trace whose first half
+        # is the warm-up (the boundary event is dispatched here, so
+        # the mid-trace reset fires).
+        events = [TraceEvent(i % 11, i % 6, i % 3) for i in range(60)]
+        double = simulate_itlb(events, 16, 2, double_pass=True)
+        manual = simulate_itlb(events + events, 16, 2,
+                               warmup_fraction=0.5)
+        assert (double.hits, double.misses) == (manual.hits,
+                                                manual.misses)
+        double = simulate_icache(events, 16, 2, double_pass=True)
+        manual = simulate_icache(events + events, 16, 2,
+                                 warmup_fraction=0.5)
+        assert (double.hits, double.misses) == (manual.hits,
+                                                manual.misses)
+
+    def test_double_pass_ignores_warmup_fraction(self):
+        events = self._events()
+        a = simulate_itlb(events, 16, 2, double_pass=True,
+                          warmup_fraction=0.0)
+        b = simulate_itlb(events, 16, 2, double_pass=True,
+                          warmup_fraction=0.9)
+        assert (a.hits, a.misses) == (b.hits, b.misses)
+
+
 class TestDeterminism:
     def test_simulations_are_reproducible(self):
         keys = [(op, 1) for op in range(64)]
