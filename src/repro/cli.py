@@ -113,6 +113,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warmup_fraction(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}")
+    from repro.trace.semantics import validate_warmup_fraction
+    try:
+        return validate_warmup_fraction(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _csv_sizes(text: str):
     try:
         return tuple(int(part) for part in text.split(",") if part.strip())
@@ -139,7 +152,10 @@ def _csv_assocs(text: str):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import HierarchySpec, SweepSpec, run_hierarchy
+    from dataclasses import replace
+
+    from repro.sweep import (HierarchySpec, SweepSpec, run_hierarchy,
+                             run_sweep, semantics_delta_table)
     from repro.trace.cachesim import ascii_plot
     from repro.workloads.store import TraceStore
 
@@ -153,7 +169,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                    else 0.25),
                   double_pass=args.warmup is None,
                   policy=args.policy, include_full=args.full,
-                  include_opt=args.opt, engine=args.engine)
+                  include_opt=args.opt, engine=args.engine,
+                  semantics=args.semantics)
     # `is not None`: an explicitly empty CSV must reach SweepSpec's
     # "at least one size" validation, not silently mean "default grid".
     if args.sizes is not None:
@@ -171,8 +188,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"workload: {args.workload} ({len(events)} events, "
           f"{dispatched} dispatched)")
     print(f"warm-up:  "
-          f"{'double pass' if args.warmup is None else f'fraction {args.warmup}'}")
-    for surface in run_hierarchy(hierarchy, events):
+          f"{'double pass' if args.warmup is None else f'fraction {args.warmup}'}"
+          f" (semantics: {args.semantics})")
+    for level, surface in zip(hierarchy.levels,
+                              run_hierarchy(hierarchy, events)):
         meta = surface.meta
         print()
         print(surface.table())
@@ -185,9 +204,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for assoc, size in surface.isoratio(0.99).items())
         print(f"[99% threshold  {thresholds}]")
         print(f"[engine: {meta['engine']}, "
+              f"semantics: {meta['semantics']}, "
               f"{meta['trace_passes']} simulation pass"
               f"{'es' if meta['trace_passes'] != 1 else ''} over the "
               f"trace]")
+        if args.compare_semantics:
+            print()
+            if level.double_pass:
+                print(f"[{surface.label}: double-pass warm-up is "
+                      f"quirk-free; paper and v2 semantics agree "
+                      f"bitwise]")
+            else:
+                # The args.semantics side is already in hand; only
+                # the counterpart costs another replay.
+                other = "v2" if level.semantics == "paper" else "paper"
+                counterpart = run_sweep(
+                    replace(level, semantics=other), events)
+                paper_s, v2_s = ((surface, counterpart)
+                                 if level.semantics == "paper"
+                                 else (counterpart, surface))
+                print(semantics_delta_table(paper_s, v2_s))
     return 0
 
 
@@ -271,11 +307,22 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("lru", "fifo", "random"),
                               help="replacement policy (non-LRU falls "
                                    "back to per-config simulation)")
-    sweep_parser.add_argument("--warmup", type=float, default=None,
-                              metavar="FRACTION",
-                              help="exclude this warm-up fraction "
-                                   "instead of the default double-pass "
-                                   "methodology")
+    sweep_parser.add_argument("--warmup", type=_warmup_fraction,
+                              default=None, metavar="FRACTION",
+                              help="exclude this warm-up fraction in "
+                                   "[0, 1) instead of the default "
+                                   "double-pass methodology")
+    sweep_parser.add_argument("--semantics", default="paper",
+                              choices=("paper", "v2"),
+                              help="measurement-semantics version: "
+                                   "'paper' reproduces the published "
+                                   "warm-up quirks bit-for-bit, 'v2' "
+                                   "fixes them (cut over observed "
+                                   "references, reset always fires, "
+                                   "symmetric end-of-trace)")
+    sweep_parser.add_argument("--compare-semantics", action="store_true",
+                              help="also print the per-cell paper-vs-v2 "
+                                   "hit-ratio delta table")
     sweep_parser.add_argument("--full", action="store_true",
                               help="add the fully-associative LRU "
                                    "reference column")

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    semantics_delta_section,
+)
 from repro.experiments.registry import ExperimentSpec, register
 from repro.trace.cachesim import (
     PAPER_ASSOCIATIVITIES,
@@ -34,20 +37,26 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
         plot: bool = True,
-        sweep: Optional[SweepResult] = None) -> ExperimentResult:
+        sweep: Optional[SweepResult] = None,
+        semantics: str = "paper",
+        compare_semantics: bool = False) -> ExperimentResult:
     """Regenerate figure 10 and check its claims.
 
     The grid comes from the single-pass stack-distance engine
     (:mod:`repro.sweep`): one warm replay plus one measured replay of
     the trace produce every (size, associativity) point at once.
     ``sweep`` short-circuits with precomputed ratios; claims are
-    always re-checked against it.
+    always re-checked against it.  ``semantics`` picks the
+    measurement-semantics version for the figure grid (the paper pin
+    needs the default); ``compare_semantics`` appends a paper-vs-v2
+    delta table over the quirk-exposed fraction warm-up window, so the
+    cost of each warm-up quirk is quantified rather than buried.
     """
     if events is None:
         events = paper_trace(scale)
     if sweep is None:
         sweep = sweep_itlb(events, sizes, associativities,
-                           double_pass=True)
+                           double_pass=True, semantics=semantics)
     result = ExperimentResult(
         "FIG-10 ITLB hit ratio vs cache size",
         "Fith corpus + polymorphic workload traces replayed against the "
@@ -63,7 +72,13 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         "distinct_keys": len({e.itlb_key for e in events if e.dispatched}),
         "engine": sweep.meta.get("engine"),
         "trace_passes": sweep.meta.get("trace_passes"),
+        "semantics": sweep.meta.get("semantics", semantics),
     }
+    if compare_semantics:
+        delta_table, delta = semantics_delta_section(
+            "itlb", sizes, associativities, events)
+        result.table += "\n\n" + delta_table
+        result.data["semantics_delta"] = delta
 
     ratio_512_2w = sweep.ratio(2, 512)
     result.check(

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    semantics_delta_section,
+)
 from repro.experiments.registry import ExperimentSpec, register
 from repro.trace.cachesim import (
     PAPER_ASSOCIATIVITIES,
@@ -27,18 +30,21 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
         plot: bool = True,
-        sweep: Optional[SweepResult] = None) -> ExperimentResult:
+        sweep: Optional[SweepResult] = None,
+        semantics: str = "paper",
+        compare_semantics: bool = False) -> ExperimentResult:
     """Regenerate figure 11 and check its claims.
 
     The grid comes from the single-pass stack-distance engine (see
     :mod:`.fig10`); ``sweep`` accepts a precomputed grid, and the
-    claims are re-checked against it either way.
+    claims are re-checked against it either way.  ``semantics`` and
+    ``compare_semantics`` behave as in :func:`repro.experiments.fig10.run`.
     """
     if events is None:
         events = paper_trace(scale)
     if sweep is None:
         sweep = sweep_icache(events, sizes, associativities,
-                             double_pass=True)
+                             double_pass=True, semantics=semantics)
     result = ExperimentResult(
         "FIG-11 instruction cache hit ratio vs cache size",
         "The same traces' instruction-address stream replayed against "
@@ -53,7 +59,13 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
         "distinct_addresses": len({e.address for e in events}),
         "engine": sweep.meta.get("engine"),
         "trace_passes": sweep.meta.get("trace_passes"),
+        "semantics": sweep.meta.get("semantics", semantics),
     }
+    if compare_semantics:
+        delta_table, delta = semantics_delta_section(
+            "icache", sizes, associativities, events)
+        result.table += "\n\n" + delta_table
+        result.data["semantics_delta"] = delta
 
     r_4096_2w = sweep.ratio(2, 4096)
     r_4096_4w = sweep.ratio(4, 4096)

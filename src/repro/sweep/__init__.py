@@ -32,26 +32,32 @@ or, for the paper's figure pair in one declared object::
 """
 
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
-from repro.sweep.runner import run_hierarchy, run_sweep
+from repro.sweep.runner import run_hierarchy, run_semantics_delta, run_sweep
 from repro.sweep.spec import (
+    DEFAULT_SEMANTICS,
     HierarchySpec,
     PAPER_ASSOCIATIVITIES,
     PAPER_SIZES,
+    SEMANTICS,
     SweepSpec,
     paper_hierarchy,
 )
-from repro.sweep.surface import ResultSurface
+from repro.sweep.surface import ResultSurface, semantics_delta_table
 
 __all__ = [
+    "DEFAULT_SEMANTICS",
     "HierarchySpec",
     "MultiConfigLRU",
     "OptStack",
     "PAPER_ASSOCIATIVITIES",
     "PAPER_SIZES",
     "ResultSurface",
+    "SEMANTICS",
     "SweepSpec",
     "next_use_times",
     "paper_hierarchy",
     "run_hierarchy",
+    "run_semantics_delta",
     "run_sweep",
+    "semantics_delta_table",
 ]

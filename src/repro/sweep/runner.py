@@ -11,13 +11,12 @@
   :func:`~repro.trace.cachesim.simulate_icache` call per cell, which
   supports any replacement policy and geometry.
 
-Both paths produce *bitwise identical* hit ratios for LRU specs: the
-single-pass driver mirrors the warm-up window semantics of the
-``simulate_*`` functions exactly, including their documented edge
-behaviours (the warm-up cut index is computed over the raw event
-stream; for the ITLB a cut landing on a non-dispatched event never
-resets; ``simulate_icache`` has no end-of-trace reset).  The
-equivalence is pinned by tests/test_sweep.py.
+Both paths produce *bitwise identical* hit ratios for LRU specs:
+driver and ``simulate_*`` functions alike place the warm-up window
+with :func:`repro.trace.semantics.reset_index`, the single audited
+home of the versioned measurement semantics (``"paper"`` preserves
+the historical quirk family bit-for-bit; ``"v2"`` fixes it).  The
+equivalence is pinned by tests/test_sweep.py under both versions.
 
 ``meta["trace_passes"]`` counts *simulation replays* of the event
 stream -- the number of times a cache model observed every reference.
@@ -36,6 +35,7 @@ from repro.sweep.spec import HierarchySpec, SweepSpec
 from repro.sweep.surface import Cell, ResultSurface
 from repro.trace.cachesim import simulate_icache, simulate_itlb
 from repro.trace.events import TraceEvent
+from repro.trace.semantics import reset_index
 
 #: One reference: (block identity, placement integer).
 Ref = Tuple[object, int]
@@ -73,22 +73,13 @@ def _reset_touch(spec: SweepSpec, events: Sequence[TraceEvent],
                  n_refs: int) -> Optional[int]:
     """Where in the *reference* stream the warm-up stats reset lands.
 
-    Mirrors the simulate_* loops reference-for-reference: the cut
-    index is computed over raw events; a value of ``n_refs`` means
-    "reset after the last reference" (everything measured away), and
-    ``None`` means the reset never fires.
+    Delegates to the versioned semantics module so the single-pass
+    driver and the ``simulate_*`` loops agree reference-for-reference
+    under either semantics version.
     """
-    cut = int(len(events) * spec.warmup_fraction)
-    if spec.cache == "icache":
-        # simulate_icache resets iff the loop reaches index == cut;
-        # there is no end-of-trace reset.
-        return cut if cut < len(events) else None
-    if cut >= len(events):
-        return n_refs  # simulate_itlb's trailing reset
-    if spec.dispatched_only and not events[cut].dispatched:
-        return None    # the cut event is filtered out: never resets
-    return sum(1 for event in events[:cut]
-               if not spec.dispatched_only or event.dispatched)
+    return reset_index(spec.semantics, spec.cache, events, n_refs,
+                       warmup_fraction=spec.warmup_fraction,
+                       dispatched_only=spec.dispatched_only)
 
 
 # -- the single-pass path --------------------------------------------------
@@ -180,6 +171,7 @@ def _run_single_pass(spec: SweepSpec,
                       for size in spec.sizes}
     return ResultSurface(spec, counts, opt_counts, {
         "engine": "single-pass",
+        "semantics": spec.semantics,
         "trace_passes": passes,
         "aux_passes": aux,
         "events": len(events),
@@ -194,7 +186,8 @@ def _simulate_cell(spec: SweepSpec, events: Sequence[TraceEvent],
                    size: int, assoc) -> Cell:
     kwargs = dict(policy=spec.policy,
                   warmup_fraction=spec.warmup_fraction,
-                  double_pass=spec.double_pass)
+                  double_pass=spec.double_pass,
+                  semantics=spec.semantics)
     if spec.cache == "itlb":
         stats = simulate_itlb(events, size, assoc,
                               dispatched_only=spec.dispatched_only,
@@ -232,13 +225,15 @@ def _run_grid(spec: SweepSpec,
             warmup_fraction=spec.warmup_fraction,
             double_pass=spec.double_pass,
             dispatched_only=spec.dispatched_only,
-            include_opt=True, engine="single-pass")
+            include_opt=True, engine="single-pass",
+            semantics=spec.semantics)
         opt_surface = _run_single_pass(opt_spec, events)
         opt_counts = opt_surface.opt_counts
         passes += 2 if spec.double_pass else 1
         aux = opt_surface.meta["aux_passes"]
     return ResultSurface(spec, counts, opt_counts, {
         "engine": "grid",
+        "semantics": spec.semantics,
         "trace_passes": passes,
         "aux_passes": aux,
         "events": len(events),
@@ -267,3 +262,23 @@ def run_hierarchy(hierarchy: HierarchySpec,
                   events: Sequence[TraceEvent]) -> Tuple[ResultSurface, ...]:
     """Run every level of a hierarchy over one trace, in order."""
     return tuple(run_sweep(level, events) for level in hierarchy.levels)
+
+
+def run_semantics_delta(
+    spec: SweepSpec, events: Sequence[TraceEvent],
+) -> Tuple[ResultSurface, ResultSurface, Dict[object, Dict[int, float]]]:
+    """One spec under both semantics: (paper, v2, v2 - paper ratios).
+
+    Quantifies what the paper's warm-up quirk family costs on this
+    grid instead of leaving it buried in the pinned figures.  The
+    delta is per cell (``delta[assoc][size]``, v2 ratio minus paper
+    ratio) and is identically zero for double-pass specs -- the quirks
+    live entirely in the single-pass fraction window.
+    """
+    from dataclasses import replace
+    paper = run_sweep(replace(spec, semantics="paper"), events)
+    v2 = run_sweep(replace(spec, semantics="v2"), events)
+    delta = {assoc: {size: v2.ratio(assoc, size) - paper.ratio(assoc, size)
+                     for size in row}
+             for assoc, row in paper.counts.items()}
+    return paper, v2, delta

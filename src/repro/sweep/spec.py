@@ -24,6 +24,12 @@ from repro.caches.setassoc import REPLACEMENT_POLICIES
 #: The paper's sweep: sizes 8..4096 (log2 = 3..12) -- re-exported from
 #: the cache simulator so the two modules cannot drift apart.
 from repro.trace.cachesim import PAPER_ASSOCIATIVITIES, PAPER_SIZES
+from repro.trace.semantics import (
+    DEFAULT_SEMANTICS,
+    SEMANTICS,
+    validate_semantics,
+    validate_warmup_fraction,
+)
 
 CACHE_KINDS = ("itlb", "icache")
 
@@ -48,7 +54,9 @@ class SweepSpec:
     stack-distance engine whenever the spec is eligible (LRU,
     power-of-two set counts), ``"single-pass"`` requires it (raising
     if ineligible), ``"grid"`` forces one simulation per
-    configuration.
+    configuration.  ``semantics`` selects the measurement-semantics
+    version (:mod:`repro.trace.semantics`): ``"paper"`` keeps the
+    historical warm-up quirks bit-for-bit, ``"v2"`` fixes them.
     """
 
     cache: str
@@ -62,6 +70,7 @@ class SweepSpec:
     include_full: bool = False
     include_opt: bool = False
     engine: str = "auto"
+    semantics: str = DEFAULT_SEMANTICS
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -73,6 +82,7 @@ class SweepSpec:
                              f"expected one of {ENGINES}")
         if self.policy not in REPLACEMENT_POLICIES:
             raise ValueError(f"unknown replacement policy {self.policy!r}")
+        validate_semantics(self.semantics)
         if not self.sizes:
             raise ValueError("a sweep needs at least one size")
         if not self.associativities:
@@ -81,8 +91,7 @@ class SweepSpec:
             raise ValueError("line_words must be a power of two")
         if self.cache == "itlb" and self.line_words != 1:
             raise ValueError("line_words applies to the icache only")
-        if self.warmup_fraction < 0.0:
-            raise ValueError("warmup_fraction must be non-negative")
+        validate_warmup_fraction(self.warmup_fraction)
         for size in self.sizes:
             if not isinstance(size, int) or size <= 0:
                 raise ValueError(f"bad sweep size {size!r}")
@@ -172,7 +181,8 @@ class HierarchySpec:
 
 def paper_hierarchy(*, include_full: bool = False,
                     include_opt: bool = False,
-                    engine: str = "auto") -> HierarchySpec:
+                    engine: str = "auto",
+                    semantics: str = DEFAULT_SEMANTICS) -> HierarchySpec:
     """Figures 10 and 11 as one declared hierarchy.
 
     Both levels use the paper's double warm-up methodology over the
@@ -181,7 +191,8 @@ def paper_hierarchy(*, include_full: bool = False,
     """
     common = dict(sizes=PAPER_SIZES, associativities=PAPER_ASSOCIATIVITIES,
                   double_pass=True, include_full=include_full,
-                  include_opt=include_opt, engine=engine)
+                  include_opt=include_opt, engine=engine,
+                  semantics=semantics)
     return HierarchySpec(
         name="paper-figures",
         description="the section-5 sweeps behind figures 10 and 11",

@@ -55,6 +55,11 @@ class ResultSurface:
         return self.spec.display_label
 
     @property
+    def semantics(self) -> str:
+        """Which measurement-semantics version produced the counts."""
+        return self.meta.get("semantics", self.spec.semantics)
+
+    @property
     def sizes(self) -> Tuple[int, ...]:
         return tuple(self.spec.sizes)
 
@@ -144,3 +149,28 @@ class ResultSurface:
                 row += f"{_ratio(cells[size]):10.4f}"
             lines.append(row)
         return "\n".join(lines)
+
+
+def semantics_delta_table(paper: ResultSurface,
+                          v2: ResultSurface) -> str:
+    """A figure-style table of per-cell v2-minus-paper ratio deltas.
+
+    Renders the measured cost of the paper's warm-up quirk family:
+    every cell is ``v2 hit ratio - paper hit ratio`` for one (size,
+    associativity) point, signed, so a column of zeros means the
+    quirks did not bias that configuration.
+    """
+    if tuple(paper.counts) != tuple(v2.counts) or \
+            paper.sizes != v2.sizes:
+        raise ValueError("semantics delta needs matching grids")
+    header = "log2(size)  size " + "".join(
+        f"{(f'{assoc}-way' if assoc != 'full' else 'full'):>10}"
+        for assoc in paper.counts)
+    lines = [f"{paper.label} hit-ratio delta (v2 - paper semantics)",
+             header, "-" * len(header)]
+    for size in paper.sizes:
+        row = f"{size.bit_length() - 1:10d} {size:5d}"
+        for assoc in paper.counts:
+            row += f"{v2.ratio(assoc, size) - paper.ratio(assoc, size):+10.4f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -11,11 +11,20 @@ from repro.trace.cachesim import (
     sweep_itlb,
 )
 from repro.trace.events import TraceEvent, addresses, dispatched_only, split_warmup
+from repro.trace.semantics import (
+    DEFAULT_SEMANTICS,
+    SEMANTICS,
+    reset_index,
+    validate_semantics,
+    validate_warmup_fraction,
+)
 from repro.trace.workloads import interleaved_trace, monomorphic_trace, paper_trace
 
 __all__ = [
-    "PAPER_ASSOCIATIVITIES", "PAPER_SIZES", "SweepResult", "TraceEvent",
+    "DEFAULT_SEMANTICS", "PAPER_ASSOCIATIVITIES", "PAPER_SIZES",
+    "SEMANTICS", "SweepResult", "TraceEvent",
     "addresses", "ascii_plot", "dispatched_only", "interleaved_trace",
-    "monomorphic_trace", "paper_trace", "simulate_icache", "simulate_itlb",
-    "split_warmup", "sweep_icache", "sweep_itlb",
+    "monomorphic_trace", "paper_trace", "reset_index", "simulate_icache",
+    "simulate_itlb", "split_warmup", "sweep_icache", "sweep_itlb",
+    "validate_semantics", "validate_warmup_fraction",
 ]

@@ -23,6 +23,7 @@ from repro.caches.icache import InstructionCache
 from repro.caches.itlb import ITLB
 from repro.caches.stats import CacheStats
 from repro.trace.events import TraceEvent
+from repro.trace.semantics import DEFAULT_SEMANTICS, reset_index
 
 #: The paper's sweep: sizes 8..4096 (log2 = 3..12).
 PAPER_SIZES = tuple(1 << k for k in range(3, 13))
@@ -39,6 +40,7 @@ def simulate_itlb(
     warmup_fraction: float = 0.25,
     double_pass: bool = False,
     dispatched_only: bool = True,
+    semantics: str = DEFAULT_SEMANTICS,
 ) -> CacheStats:
     """Replay a trace against one ITLB configuration.
 
@@ -50,23 +52,29 @@ def simulate_itlb(
     "a warmup trace was run before the measurement trace" -- the whole
     trace is replayed once unmeasured, then measured on a second pass,
     so the recorded ratios contain no compulsory misses.  Otherwise the
-    first ``warmup_fraction`` of the single pass is excluded.
+    first ``warmup_fraction`` of the single pass is excluded, with the
+    cut placed by :func:`repro.trace.semantics.reset_index` under the
+    chosen ``semantics`` version (``"paper"`` reproduces the
+    historical quirks bit-for-bit; ``"v2"`` fixes them).
     """
     itlb = ITLB(size, associativity, policy)
-    cut = 0 if double_pass else int(len(events) * warmup_fraction)
+    refs = [event for event in events
+            if not dispatched_only or event.dispatched]
     if double_pass:
-        for event in events:
-            if dispatched_only and not event.dispatched:
-                continue
+        for event in refs:
             itlb.reference(event.opcode, (event.receiver_class,))
         itlb.reset_stats()
-    for index, event in enumerate(events):
-        if dispatched_only and not event.dispatched:
-            continue
-        if index == cut and not double_pass:
+        for event in refs:
+            itlb.reference(event.opcode, (event.receiver_class,))
+        return itlb.stats.snapshot()
+    reset_at = reset_index(semantics, "itlb", events, len(refs),
+                           warmup_fraction=warmup_fraction,
+                           dispatched_only=dispatched_only)
+    for index, event in enumerate(refs):
+        if index == reset_at:
             itlb.reset_stats()
         itlb.reference(event.opcode, (event.receiver_class,))
-    if cut >= len(events) and not double_pass:
+    if reset_at is not None and reset_at >= len(refs):
         itlb.reset_stats()
     return itlb.stats.snapshot()
 
@@ -80,6 +88,7 @@ def simulate_icache(
     policy: str = "lru",
     warmup_fraction: float = 0.25,
     double_pass: bool = False,
+    semantics: str = DEFAULT_SEMANTICS,
 ) -> CacheStats:
     """Replay the instruction-address stream against one icache config.
 
@@ -90,13 +99,17 @@ def simulate_icache(
         for event in events:
             icache.reference(event.address)
         icache.reset_stats()
-        cut = 0
-    else:
-        cut = int(len(events) * warmup_fraction)
+        for event in events:
+            icache.reference(event.address)
+        return icache.stats.snapshot()
+    reset_at = reset_index(semantics, "icache", events, len(events),
+                           warmup_fraction=warmup_fraction)
     for index, event in enumerate(events):
-        if index == cut and not double_pass:
+        if index == reset_at:
             icache.reset_stats()
         icache.reference(event.address)
+    if reset_at is not None and reset_at >= len(events):
+        icache.reset_stats()
     return icache.stats.snapshot()
 
 

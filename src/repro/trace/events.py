@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
+from repro.trace.semantics import validate_warmup_fraction
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -42,8 +44,7 @@ def split_warmup(
     avoid biasing the results by the initial faulting in of data into
     the caches."
     """
-    if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup_fraction must be in [0, 1)")
+    validate_warmup_fraction(warmup_fraction)
     cut = int(len(events) * warmup_fraction)
     return events[:cut], events[cut:]
 

@@ -23,7 +23,11 @@ Cache rules:
   regenerated.
 
 A JSON sidecar (same stem, ``.json``) records the human-readable
-identity of each entry for ``python -m repro list``/``trace``.
+identity of each entry for ``python -m repro list``/``trace``.  The
+sidecar is *regenerable metadata*: a missing or corrupt sidecar never
+hides or invalidates a valid binary payload -- it is rewritten on
+load (full fidelity, since the spec and parameters are in hand) and
+reconstructed best-effort from the payload during enumeration.
 """
 
 from __future__ import annotations
@@ -121,6 +125,9 @@ class TraceStore:
         events = self._read(path)
         if events is not None:
             self.hits += 1
+            if self._read_sidecar(path) is None:
+                self._write_sidecar(path, self._sidecar_meta(
+                    spec.name, spec.version, params, events))
         else:
             self.misses += 1
             self.generated += 1
@@ -182,36 +189,74 @@ class TraceStore:
                 except OSError:
                     pass
                 raise
-            meta = {
-                "workload": spec.name,
-                "version": spec.version,
-                "format": FORMAT_VERSION,
-                "params": {k: repr(v) if not isinstance(
-                    v, (int, float, str, bool, type(None))) else v
-                    for k, v in params.items()},
-                "events": len(events),
-                "dispatched": sum(1 for e in events if e.dispatched),
-            }
-            path.with_suffix(".json").write_text(
-                json.dumps(meta, indent=2, sort_keys=True) + "\n")
+            self._write_sidecar(path, self._sidecar_meta(
+                spec.name, spec.version, params, events))
         except OSError:
             # The store is a cache: failing to persist must never fail
             # the run that produced the trace.
             pass
 
+    # -- sidecar metadata -----------------------------------------------
+
+    @staticmethod
+    def _sidecar_meta(name: str, version,
+                      params: Optional[Mapping[str, object]],
+                      events: List[TraceEvent]) -> dict:
+        return {
+            "workload": name,
+            "version": version,
+            "format": FORMAT_VERSION,
+            "params": None if params is None else {
+                k: repr(v) if not isinstance(
+                    v, (int, float, str, bool, type(None))) else v
+                for k, v in params.items()},
+            "events": len(events),
+            "dispatched": sum(1 for e in events if e.dispatched),
+        }
+
+    @staticmethod
+    def _read_sidecar(path: Path) -> Optional[dict]:
+        """The trace's sidecar dict, or None when missing/corrupt."""
+        try:
+            meta = json.loads(path.with_suffix(".json").read_text())
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) and "workload" in meta \
+            else None
+
+    @staticmethod
+    def _write_sidecar(path: Path, meta: dict) -> None:
+        try:
+            path.with_suffix(".json").write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            pass  # regenerable metadata: never fail the load
+
     # -- introspection --------------------------------------------------
 
     def entries(self) -> List[dict]:
-        """Sidecar metadata for every materialized trace."""
+        """Sidecar metadata for every materialized trace.
+
+        Enumerates the binary payloads, not the sidecars: a trace
+        whose sidecar is missing or corrupt is still listed, with its
+        metadata reconstructed from the payload (workload name from
+        the file name, event counts from the events themselves; the
+        generator version and parameters are unrecoverable and marked
+        so) and the sidecar healed on disk for the next caller.
+        """
         out = []
-        for sidecar in sorted(self.root.glob("*.json")):
-            try:
-                meta = json.loads(sidecar.read_text())
-            except (OSError, ValueError):
-                continue
-            if sidecar.with_suffix(".trace").exists():
-                meta["path"] = str(sidecar.with_suffix(".trace"))
-                out.append(meta)
+        for trace_path in sorted(self.root.glob("*.trace")):
+            meta = self._read_sidecar(trace_path)
+            if meta is None:
+                events = self._read(trace_path)
+                if events is None:
+                    continue  # corrupt payload: a miss, not an entry
+                name = trace_path.stem.rsplit("-", 1)[0]
+                meta = self._sidecar_meta(name, None, None, events)
+                meta["recovered"] = True
+                self._write_sidecar(trace_path, meta)
+            meta["path"] = str(trace_path)
+            out.append(meta)
         return out
 
     def cached_names(self) -> Dict[str, int]:

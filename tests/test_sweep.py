@@ -5,8 +5,10 @@ configuration on a power-of-two grid, the stack-distance engine must
 produce exactly the hit/miss counts (and therefore bit-identical
 float ratios) that per-configuration ``simulate_itlb`` /
 ``simulate_icache`` runs produce — across every warm-up window
-variant, including the quirky ones pinned in test_tracesim.py.  CI
-runs the equivalence tests by name (``-k equivalence``) as a
+variant, including the quirky ones pinned in test_tracesim.py, and
+under *both* measurement-semantics versions ("paper" preserves the
+quirks, "v2" fixes them).  CI runs the equivalence tests by name
+(``-k "equivalence and paper"`` / ``-k "equivalence and v2"``) as a
 dedicated gate.
 """
 
@@ -53,38 +55,50 @@ def events():
 
 GRID = dict(sizes=PAPER_SIZES, associativities=(1, 2, 4, "full"))
 
+#: Warm-up variants for the equivalence pins.  1.0 is gone on purpose:
+#: SweepSpec/CLI now reject it (the simulate_* edge behaviour at the
+#: whole-trace cut stays pinned in test_tracesim.py); 0.9 keeps a cut
+#: deep in the trace in the mix.
 WINDOWS = [
     {"double_pass": True},
     {"warmup_fraction": 0.25},
     {"warmup_fraction": 0.0},
-    {"warmup_fraction": 1.0},
+    {"warmup_fraction": 0.9},
 ]
+
+SEMANTICS = ("paper", "v2")
 
 
 class TestSinglePassGridEquivalence:
-    """The acceptance-critical pins: engine == grid, bitwise."""
+    """The acceptance-critical pins: engine == grid, bitwise, under
+    both measurement-semantics versions."""
 
+    @pytest.mark.parametrize("semantics", SEMANTICS)
     @pytest.mark.parametrize("window", WINDOWS,
                              ids=[str(w) for w in WINDOWS])
-    def test_itlb_equivalence(self, events, window):
-        spec = SweepSpec("itlb", engine="single-pass", **GRID, **window)
+    def test_itlb_equivalence(self, events, window, semantics):
+        spec = SweepSpec("itlb", engine="single-pass",
+                         semantics=semantics, **GRID, **window)
         surface = run_sweep(spec, events)
         for assoc in GRID["associativities"]:
             for size in PAPER_SIZES:
-                stats = simulate_itlb(events, size, assoc, **window)
+                stats = simulate_itlb(events, size, assoc,
+                                      semantics=semantics, **window)
                 assert surface.cell(assoc, size) == (stats.hits,
                                                      stats.misses)
                 assert surface.ratio(assoc, size) == stats.hit_ratio
 
+    @pytest.mark.parametrize("semantics", SEMANTICS)
     @pytest.mark.parametrize("window", WINDOWS,
                              ids=[str(w) for w in WINDOWS])
-    def test_icache_equivalence(self, events, window):
-        spec = SweepSpec("icache", engine="single-pass", **GRID,
-                         **window)
+    def test_icache_equivalence(self, events, window, semantics):
+        spec = SweepSpec("icache", engine="single-pass",
+                         semantics=semantics, **GRID, **window)
         surface = run_sweep(spec, events)
         for assoc in GRID["associativities"]:
             for size in PAPER_SIZES:
-                stats = simulate_icache(events, size, assoc, **window)
+                stats = simulate_icache(events, size, assoc,
+                                        semantics=semantics, **window)
                 assert surface.cell(assoc, size) == (stats.hits,
                                                      stats.misses)
                 assert surface.ratio(assoc, size) == stats.hit_ratio
@@ -112,17 +126,22 @@ class TestSinglePassGridEquivalence:
                                   double_pass=True)
             assert surface.cell(2, size) == (stats.hits, stats.misses)
 
-    def test_equivalence_when_cut_lands_on_non_dispatched(self):
-        # The never-resetting warm-up quirk must carry over exactly.
+    @pytest.mark.parametrize("semantics", SEMANTICS)
+    def test_equivalence_when_cut_lands_on_non_dispatched(self,
+                                                          semantics):
+        # Paper: the never-resetting warm-up quirk must carry over
+        # exactly.  v2: the always-firing fix must carry over too.
         events = [TraceEvent(i % 9, i % 4, 1, dispatched=(i != 10))
                   for i in range(20)]
         spec = SweepSpec("itlb", sizes=(8, 16), associativities=(1, 2),
-                         warmup_fraction=0.5, engine="single-pass")
+                         warmup_fraction=0.5, engine="single-pass",
+                         semantics=semantics)
         surface = run_sweep(spec, events)
         for assoc in (1, 2):
             for size in (8, 16):
                 stats = simulate_itlb(events, size, assoc,
-                                      warmup_fraction=0.5)
+                                      warmup_fraction=0.5,
+                                      semantics=semantics)
                 assert surface.cell(assoc, size) == (stats.hits,
                                                      stats.misses)
 
@@ -140,17 +159,20 @@ class TestSinglePassGridEquivalence:
                               st.booleans()),
                     min_size=5, max_size=150),
            st.sampled_from([{"double_pass": True},
-                            {"warmup_fraction": 0.33}]))
-    def test_property_equivalence(self, rows, window):
+                            {"warmup_fraction": 0.33}]),
+           st.sampled_from(SEMANTICS))
+    def test_property_equivalence(self, rows, window, semantics):
         events = [TraceEvent(address, opcode, opcode % 3, dispatched)
                   for address, opcode, dispatched in rows]
         spec = SweepSpec("icache", sizes=(8, 32, 128),
                          associativities=(1, 2, "full"),
-                         engine="single-pass", **window)
+                         engine="single-pass", semantics=semantics,
+                         **window)
         surface = run_sweep(spec, events)
         for assoc in (1, 2, "full"):
             for size in (8, 32, 128):
-                stats = simulate_icache(events, size, assoc, **window)
+                stats = simulate_icache(events, size, assoc,
+                                        semantics=semantics, **window)
                 assert surface.cell(assoc, size) == (stats.hits,
                                                      stats.misses)
 
@@ -174,6 +196,15 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="at least one"):
             SweepSpec("itlb", sizes=())
 
+    def test_rejects_unknown_semantics(self):
+        with pytest.raises(ValueError, match="semantics"):
+            SweepSpec("itlb", semantics="v3")
+
+    @pytest.mark.parametrize("fraction", [1.0, 1.5, -0.1, 2.0])
+    def test_rejects_out_of_range_warmup_fraction(self, fraction):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            SweepSpec("itlb", warmup_fraction=fraction)
+
     def test_eligibility(self):
         assert SweepSpec("itlb").single_pass_eligible()
         assert not SweepSpec("itlb", policy="fifo").single_pass_eligible()
@@ -191,6 +222,100 @@ class TestSpecValidation:
             HierarchySpec("empty", ())
         with pytest.raises(ValueError, match="duplicate"):
             HierarchySpec("dup", (SweepSpec("itlb"), SweepSpec("itlb")))
+
+
+class TestSemanticsV2:
+    """The v2 fixes themselves (the equivalence pins above prove the
+    engine mirrors them; these prove they are the *right* fixes)."""
+
+    def test_cut_computed_over_dispatched_references(self):
+        # 100 events, every other one dispatched: v2 warms 25% of the
+        # 50 ITLB references, not "the references inside the first 25
+        # raw events" (which the paper cut would give: 13 minus the
+        # filtered boundary... see the quirk tests in test_tracesim).
+        events = [TraceEvent(i, i % 3, 1, dispatched=(i % 2 == 0))
+                  for i in range(100)]
+        stats = simulate_itlb(events, 16, 2, warmup_fraction=0.25,
+                              semantics="v2")
+        assert stats.accesses == 50 - 12  # int(50 * 0.25) == 12 warmed
+
+    def test_reset_always_fires_on_filtered_cut(self):
+        # The paper quirk: cut at raw index 10 lands on the one
+        # non-dispatched event, so the reset never fires and all 19
+        # references are measured.  v2 resets regardless.
+        events = [TraceEvent(i, i % 3, 1, dispatched=(i != 10))
+                  for i in range(20)]
+        paper = simulate_itlb(events, 16, 2, warmup_fraction=0.5)
+        v2 = simulate_itlb(events, 16, 2, warmup_fraction=0.5,
+                           semantics="v2")
+        assert paper.accesses == 19          # quirk preserved
+        assert v2.accesses == 19 - 9         # int(19 * 0.5) warmed
+
+    def test_symmetric_end_of_trace(self):
+        # Whole-trace warm-up (only reachable via simulate_* directly;
+        # the spec/CLI layers reject fraction 1.0): paper zeroes the
+        # ITLB but measures the whole trace on the icache; v2 measures
+        # nothing on either.
+        events = [TraceEvent(i % 7, i % 5, 1) for i in range(40)]
+        assert simulate_itlb(events, 16, 2, warmup_fraction=1.0,
+                             semantics="v2").accesses == 0
+        assert simulate_icache(events, 16, 2, warmup_fraction=1.0,
+                               semantics="v2").accesses == 0
+        assert simulate_icache(events, 16, 2,
+                               warmup_fraction=1.0).accesses == 40
+
+    def test_paper_is_the_default(self, events):
+        explicit = simulate_itlb(events, 64, 2, warmup_fraction=0.25,
+                                 semantics="paper")
+        implicit = simulate_itlb(events, 64, 2, warmup_fraction=0.25)
+        assert (explicit.hits, explicit.misses) == (implicit.hits,
+                                                    implicit.misses)
+        assert SweepSpec("itlb").semantics == "paper"
+
+    def test_surface_records_semantics(self, events):
+        for semantics in SEMANTICS:
+            surface = run_sweep(
+                SweepSpec("itlb", sizes=(32,), associativities=(2,),
+                          warmup_fraction=0.25, semantics=semantics),
+                events)
+            assert surface.meta["semantics"] == semantics
+            assert surface.semantics == semantics
+            assert surface.to_sweep_result().meta["semantics"] \
+                == semantics
+
+    def test_grid_engine_records_semantics_too(self, events):
+        surface = run_sweep(
+            SweepSpec("itlb", sizes=(32,), associativities=(2,),
+                      policy="fifo", warmup_fraction=0.25,
+                      semantics="v2"), events)
+        assert surface.meta["engine"] == "grid"
+        assert surface.meta["semantics"] == "v2"
+        stats = simulate_itlb(events, 32, 2, policy="fifo",
+                              warmup_fraction=0.25, semantics="v2")
+        assert surface.cell(2, 32) == (stats.hits, stats.misses)
+
+    def test_double_pass_semantics_agree_bitwise(self, events):
+        from repro.sweep import run_semantics_delta
+        spec = SweepSpec("itlb", sizes=(16, 64), associativities=(2,),
+                         double_pass=True)
+        paper, v2, delta = run_semantics_delta(spec, events)
+        assert paper.counts == v2.counts
+        assert all(d == 0.0 for row in delta.values()
+                   for d in row.values())
+
+    def test_fraction_window_delta_is_quantified(self, events):
+        from repro.sweep import run_semantics_delta, semantics_delta_table
+        spec = SweepSpec("itlb", sizes=(16, 64), associativities=(1, 2),
+                         warmup_fraction=0.25)
+        paper, v2, delta = run_semantics_delta(spec, events)
+        assert set(delta) == {1, 2}
+        assert set(delta[1]) == {16, 64}
+        for assoc in (1, 2):
+            for size in (16, 64):
+                assert delta[assoc][size] == pytest.approx(
+                    v2.ratio(assoc, size) - paper.ratio(assoc, size))
+        table = semantics_delta_table(paper, v2)
+        assert "v2 - paper" in table and "1-way" in table
 
 
 class TestGridFallback:
@@ -357,6 +482,36 @@ class TestExperimentIntegration:
         assert get_experiment("FIG-10").shards == ()
         assert get_experiment("FIG-11").shards == ()
 
+    def test_figures_record_semantics(self, events):
+        assert fig10.run(events=events,
+                         plot=False).data["semantics"] == "paper"
+        assert fig11.run(events=events,
+                         plot=False).data["semantics"] == "paper"
+
+    @pytest.mark.parametrize("figure", [fig10, fig11])
+    def test_figures_emit_semantics_delta_column(self, events, figure):
+        result = figure.run(events=events, plot=False,
+                            compare_semantics=True)
+        delta = result.data["semantics_delta"]
+        assert set(delta) == {1, 2, 4}
+        assert "v2 - paper" in result.table
+        # The figure grid itself (and its claims) stays on the
+        # double-pass paper pin regardless of the comparison.
+        assert result.data["sweep"].meta["semantics"] == "paper"
+        baseline = figure.run(events=events, plot=False)
+        assert [c.holds for c in result.claims] == \
+            [c.holds for c in baseline.claims]
+
+    def test_fig10_v2_semantics_still_supports_the_claims(self, events):
+        # The quirk fixes must not change the scientific conclusions:
+        # the double-pass figure grid is quirk-free, so v2 reproduces
+        # the same claim outcomes bit-for-bit.
+        paper = fig10.run(events=events, plot=False)
+        v2 = fig10.run(events=events, plot=False, semantics="v2")
+        assert v2.data["semantics"] == "v2"
+        assert [(c.claim, c.holds) for c in v2.claims] == \
+            [(c.claim, c.holds) for c in paper.claims]
+
 
 class TestCli:
     def test_sweep_command(self, tmp_path, capsys):
@@ -389,6 +544,44 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["sweep", "--assoc", "semi",
                       "--trace-dir", str(tmp_path)])
+
+    @pytest.mark.parametrize("fraction", ["1.0", "-0.25", "nan", "two"])
+    def test_sweep_rejects_out_of_range_warmup(self, tmp_path, fraction):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--warmup", fraction,
+                      "--trace-dir", str(tmp_path)])
+
+    def test_sweep_semantics_flag(self, tmp_path, capsys):
+        code = cli_main(["sweep", "monomorphic", "--quick",
+                         "--cache", "itlb", "--sizes", "8,16",
+                         "--assoc", "1", "--warmup", "0.25",
+                         "--semantics", "v2",
+                         "--trace-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "semantics: v2" in out
+
+    def test_sweep_compare_semantics_prints_delta(self, tmp_path,
+                                                  capsys):
+        code = cli_main(["sweep", "monomorphic", "--quick",
+                         "--cache", "itlb", "--sizes", "8,16",
+                         "--assoc", "1,2", "--warmup", "0.25",
+                         "--compare-semantics",
+                         "--trace-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "v2 - paper" in out
+
+    def test_sweep_compare_semantics_under_double_pass_notes_parity(
+            self, tmp_path, capsys):
+        code = cli_main(["sweep", "monomorphic", "--quick",
+                         "--cache", "itlb", "--sizes", "8,16",
+                         "--assoc", "1", "--compare-semantics",
+                         "--trace-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quirk-free" in out
+        assert "v2 - paper" not in out
 
     def test_list_workloads_show_params(self, capsys):
         assert cli_main(["list", "--workloads"]) == 0

@@ -18,6 +18,14 @@ from repro.trace.events import (
     dispatched_only,
     split_warmup,
 )
+from repro.trace.semantics import (
+    DEFAULT_SEMANTICS,
+    QUIRKS,
+    SEMANTICS,
+    reset_index,
+    validate_semantics,
+    validate_warmup_fraction,
+)
 from repro.trace.workloads import monomorphic_trace
 
 
@@ -233,6 +241,98 @@ class TestWarmupEdgeCases:
         b = simulate_itlb(events, 16, 2, double_pass=True,
                           warmup_fraction=0.9)
         assert (a.hits, a.misses) == (b.hits, b.misses)
+
+
+class TestSemanticsModule:
+    """The audited window-placement module itself (repro.trace.semantics):
+    every quirk in the family, and its v2 counterpart, pinned at the
+    reset_index level so all four consumer layers inherit the same
+    truth."""
+
+    def _events(self, n=20, hole=10):
+        return [TraceEvent(i, i % 3, 1, dispatched=(i != hole))
+                for i in range(n)]
+
+    def test_registry_and_validation(self):
+        assert DEFAULT_SEMANTICS == "paper"
+        assert SEMANTICS == ("paper", "v2")
+        assert set(QUIRKS) == {"raw-index-cut", "skipped-itlb-reset",
+                               "asymmetric-end-of-trace"}
+        with pytest.raises(ValueError, match="semantics"):
+            validate_semantics("v1")
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            validate_warmup_fraction(1.0)
+        assert validate_warmup_fraction(0.0) == 0.0
+
+    def test_paper_raw_index_cut(self):
+        # 19 dispatched refs; cut at raw index 5 (all dispatched
+        # before it) -> reset before reference 5.
+        events = self._events()
+        assert reset_index("paper", "itlb", events, 19,
+                           warmup_fraction=0.25) == 5
+
+    def test_paper_skipped_itlb_reset(self):
+        # Cut at raw index 10 lands on the filtered-out event: never
+        # resets under paper, always under v2.
+        events = self._events()
+        assert reset_index("paper", "itlb", events, 19,
+                           warmup_fraction=0.5) is None
+        assert reset_index("v2", "itlb", events, 19,
+                           warmup_fraction=0.5) == 9
+
+    def test_paper_asymmetric_end_of_trace(self):
+        events = self._events()
+        assert reset_index("paper", "itlb", events, 19,
+                           warmup_fraction=1.0) == 19   # zero stats
+        assert reset_index("paper", "icache", events, 20,
+                           warmup_fraction=1.0) is None  # never fires
+        # v2: symmetric -- both reset after the last reference.
+        assert reset_index("v2", "itlb", events, 19,
+                           warmup_fraction=1.0) == 19
+        assert reset_index("v2", "icache", events, 20,
+                           warmup_fraction=1.0) == 20
+
+    def test_v2_cut_over_reference_stream(self):
+        events = self._events()
+        # int(19 * 0.25) = 4: the cut counts what the ITLB sees.
+        assert reset_index("v2", "itlb", events, 19,
+                           warmup_fraction=0.25) == 4
+        # Unfiltered streams agree between versions away from the
+        # edges: refs == events, so the cut index coincides.
+        assert reset_index("v2", "icache", events, 20,
+                           warmup_fraction=0.25) == \
+            reset_index("paper", "icache", events, 20,
+                        warmup_fraction=0.25) == 5
+
+    def test_paper_negative_fraction_never_resets(self):
+        # The historical loops compared a negative cut against
+        # non-negative loop indices: no reset, everything measured.
+        # (reset_index must not let Python's negative indexing probe
+        # events[cut] and invent a mid-trace reset.)
+        events = self._events()
+        assert reset_index("paper", "itlb", events, 19,
+                           warmup_fraction=-0.5) is None
+        assert reset_index("paper", "icache", events, 20,
+                           warmup_fraction=-0.5) is None
+        stats = simulate_itlb(events, 16, 2, warmup_fraction=-0.5)
+        assert stats.accesses == 19
+        stats = simulate_icache(events, 16, 2, warmup_fraction=-0.5)
+        assert stats.accesses == 20
+
+    def test_simulate_semantics_validated(self):
+        events = self._events()
+        with pytest.raises(ValueError, match="semantics"):
+            simulate_itlb(events, 16, 2, semantics="v3")
+        with pytest.raises(ValueError, match="semantics"):
+            simulate_icache(events, 16, 2, semantics="v3")
+
+    def test_double_pass_identical_under_both_semantics(self):
+        events = self._events(60, hole=7)
+        for simulate in (simulate_itlb, simulate_icache):
+            paper = simulate(events, 16, 2, double_pass=True)
+            v2 = simulate(events, 16, 2, double_pass=True,
+                          semantics="v2")
+            assert (paper.hits, paper.misses) == (v2.hits, v2.misses)
 
 
 class TestDeterminism:
