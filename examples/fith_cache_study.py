@@ -49,12 +49,12 @@ def main() -> None:
     machine = make_fith(trace=True)
     machine.run_source(PROGRAM, max_steps=10_000_000)
     print(f"total work units: {machine.output[0].value}")
-    events = machine.trace
-    dispatched = [event for event in events if event.dispatched]
-    print(f"trace: {len(events)} instructions, "
-          f"{len(dispatched)} dispatched, "
-          f"{len({e.itlb_key for e in dispatched})} distinct ITLB keys, "
-          f"{len({e.address for e in events})} distinct addresses")
+    events = machine.trace.snapshot()
+    stats = events.stats()
+    print(f"trace: {stats['events']} instructions, "
+          f"{stats['dispatched']} dispatched, "
+          f"{stats['unique_itlb_keys']} distinct ITLB keys, "
+          f"{stats['unique_addresses']} distinct addresses")
 
     sizes = tuple(1 << k for k in range(3, 11))
     study = HierarchySpec(

@@ -42,6 +42,7 @@ from repro.core.isa import Op, OpcodeTable
 from repro.core.machine import COMMachine, CompiledMethod, TraceEvent
 from repro.core.operands import Operand
 from repro.core.pipeline import CycleParams, pipeline_diagram
+from repro.trace.columnar import Trace, TraceBuilder, as_trace
 from repro.memory.fpa import AddressFormat, FPAddress, address_format
 from repro.memory.mmu import MMU
 from repro.memory.tags import Tag, Word
@@ -63,9 +64,12 @@ __all__ = [
     "Operand",
     "SimConfig",
     "Tag",
+    "Trace",
+    "TraceBuilder",
     "TraceEvent",
     "Word",
     "address_format",
+    "as_trace",
     "load_program",
     "make_com",
     "make_fith",

@@ -8,8 +8,10 @@ Subcommands::
                  [--assoc CSV] [--opt] [--full] [--warmup F] ...
                  single-pass cache sweep over a registered workload
     repro list   list registered workloads and experiments
-    repro trace  NAME [--set k=v ...] [--force]
-                 materialize one workload into the trace store
+    repro trace  NAME [--set k=v ...] [--force] [--stats]
+                 materialize one workload into the trace store;
+                 --stats prints column-level statistics (no event
+                 objects are materialized)
     repro bench  [pytest args ...]
                  run the benchmark suite (pytest-benchmark)
 
@@ -100,16 +102,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                              **overrides)
     events = store.load(spec, quick=args.quick, scale=args.scale,
                         **overrides)
-    dispatched = [e for e in events if e.dispatched]
+    # Everything below reads the columns; no TraceEvent is built.
     print(f"workload:   {spec.name} (generator v{spec.version})")
     print(f"params:     {params}")
     print(f"state:      {'cache hit' if hit else 'generated'}")
-    print(f"trace:      {len(events)} events, {len(dispatched)} "
-          f"dispatched")
-    print(f"keys:       {len({e.itlb_key for e in dispatched})} distinct "
-          f"ITLB keys, {len({e.address for e in events})} distinct "
+    print(f"trace:      {len(events)} events, "
+          f"{events.dispatched_count()} dispatched")
+    print(f"keys:       {events.unique_itlb_key_count()} distinct "
+          f"ITLB keys, {events.unique_address_count()} distinct "
           f"addresses")
     print(f"store path: {path}")
+    if args.stats:
+        stats = events.stats()
+        print()
+        print("column statistics:")
+        print(f"  events:              {stats['events']}")
+        print(f"  dispatched:          {stats['dispatched']} "
+              f"({stats['dispatched_fraction']:.1%})")
+        print(f"  unique opcodes:      {stats['unique_opcodes']}")
+        print(f"  unique classes:      {stats['unique_classes']}")
+        print(f"  unique ITLB keys:    {stats['unique_itlb_keys']}")
+        print(f"  address footprint:   {stats['unique_addresses']} "
+              f"distinct addresses"
+              + (f" in [{stats['address_min']}, {stats['address_max']}]"
+                 if stats["events"] else ""))
     return 0
 
 
@@ -184,9 +200,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cache in caches)
     hierarchy = HierarchySpec(name=f"sweep:{args.workload}",
                               levels=levels)
-    dispatched = sum(1 for e in events if e.dispatched)
     print(f"workload: {args.workload} ({len(events)} events, "
-          f"{dispatched} dispatched)")
+          f"{events.dispatched_count()} dispatched)")
     print(f"warm-up:  "
           f"{'double pass' if args.warmup is None else f'fraction {args.warmup}'}"
           f" (semantics: {args.semantics})")
@@ -361,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--quick", action="store_true")
     trace_parser.add_argument("--force", action="store_true",
                               help="regenerate even on a cache hit")
+    trace_parser.add_argument("--stats", action="store_true",
+                              help="print column-level statistics "
+                                   "(event/dispatched counts, unique "
+                                   "opcode/class/key counts, address "
+                                   "footprint) computed straight from "
+                                   "the stored columns")
     trace_parser.add_argument("--set", action="append",
                               type=_parse_override, metavar="KEY=VALUE",
                               help="override a generator parameter")

@@ -79,7 +79,8 @@ from repro.core.operands import Mode, Operand, Space
 from repro.core.pipeline import CycleAccountant, CycleParams
 from repro.core.primitives import execute_unit
 from repro.core.registers import RegisterFile
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import TraceBuilder
+from repro.trace.events import TraceEvent  # noqa: F401 (re-exported)
 
 
 @dataclass
@@ -136,7 +137,7 @@ class COMMachine:
         self.collector = MarkSweepCollector(self.heap)
         self.ip: Optional[FPAddress] = None
         self.halted = False
-        self.trace: Optional[List[TraceEvent]] = None
+        self.trace: Optional[TraceBuilder] = None
         self._result_cell: Optional[FPAddress] = None
         self._methods: Dict[Tuple[int, str], CompiledMethod] = {}
         self._prev_dest: Optional[Tuple[str, int]] = None
@@ -331,9 +332,13 @@ class COMMachine:
     # trace support
     # ------------------------------------------------------------------
 
-    def enable_trace(self) -> List[TraceEvent]:
-        """Start recording (address, opcode, receiver class) events."""
-        self.trace = []
+    def enable_trace(self) -> TraceBuilder:
+        """Start recording (address, opcode, receiver class) events.
+
+        The recorder is columnar (struct-of-arrays) but still quacks
+        like a ``Sequence[TraceEvent]`` for inspection.
+        """
+        self.trace = TraceBuilder()
         return self.trace
 
     # ------------------------------------------------------------------
@@ -471,7 +476,7 @@ class COMMachine:
         if self.trace is not None:
             receiver = class_tags[0] if class_tags else -1
             address = getattr(self, "_fetch_absolute", self.ip.packed)
-            self.trace.append(TraceEvent(address, inst.opcode, receiver))
+            self.trace.record(address, inst.opcode, receiver)
         return outcome
 
     # ------------------------------------------------------------------
@@ -871,7 +876,7 @@ class COMMachine:
             cycles.itlb_miss(lookup.probes)
         if self.trace is not None:
             receiver = class_tags[0] if class_tags else -1
-            self.trace.append(TraceEvent(absolute, plan.opcode, receiver))
+            self.trace.record(absolute, plan.opcode, receiver)
         inst = plan.inst
         if entry.primitive:
             unit = entry.unit

@@ -15,7 +15,7 @@ Claims reproduced:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.common import (
     ExperimentResult,
@@ -29,11 +29,11 @@ from repro.trace.cachesim import (
     ascii_plot,
     sweep_itlb,
 )
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, as_trace
 from repro.trace.workloads import paper_trace
 
 
-def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
+def run(scale: int = 1, events: Optional[Trace] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
         plot: bool = True,
@@ -52,8 +52,7 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
     delta table over the quirk-exposed fraction warm-up window, so the
     cost of each warm-up quirk is quantified rather than buried.
     """
-    if events is None:
-        events = paper_trace(scale)
+    events = paper_trace(scale) if events is None else as_trace(events)
     if sweep is None:
         sweep = sweep_itlb(events, sizes, associativities,
                            double_pass=True, semantics=semantics)
@@ -68,8 +67,8 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
     result.data = {
         "sweep": sweep,
         "trace_length": len(events),
-        "dispatched": sum(1 for e in events if e.dispatched),
-        "distinct_keys": len({e.itlb_key for e in events if e.dispatched}),
+        "dispatched": events.dispatched_count(),
+        "distinct_keys": events.unique_itlb_key_count(),
         "engine": sweep.meta.get("engine"),
         "trace_passes": sweep.meta.get("trace_passes"),
         "semantics": sweep.meta.get("semantics", semantics),

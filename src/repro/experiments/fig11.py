@@ -8,7 +8,7 @@ above direct mapping, a much larger structure than the ITLB needs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.common import (
     ExperimentResult,
@@ -22,11 +22,11 @@ from repro.trace.cachesim import (
     ascii_plot,
     sweep_icache,
 )
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, as_trace
 from repro.trace.workloads import paper_trace
 
 
-def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
+def run(scale: int = 1, events: Optional[Trace] = None,
         sizes: Sequence[int] = PAPER_SIZES,
         associativities: Sequence = PAPER_ASSOCIATIVITIES,
         plot: bool = True,
@@ -40,8 +40,7 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
     claims are re-checked against it either way.  ``semantics`` and
     ``compare_semantics`` behave as in :func:`repro.experiments.fig10.run`.
     """
-    if events is None:
-        events = paper_trace(scale)
+    events = paper_trace(scale) if events is None else as_trace(events)
     if sweep is None:
         sweep = sweep_icache(events, sizes, associativities,
                              double_pass=True, semantics=semantics)
@@ -56,7 +55,7 @@ def run(scale: int = 1, events: Optional[List[TraceEvent]] = None,
     result.data = {
         "sweep": sweep,
         "trace_length": len(events),
-        "distinct_addresses": len({e.address for e in events}),
+        "distinct_addresses": events.unique_address_count(),
         "engine": sweep.meta.get("engine"),
         "trace_passes": sweep.meta.get("trace_passes"),
         "semantics": sweep.meta.get("semantics", semantics),

@@ -54,7 +54,7 @@ def _materialize_workloads(specs: Sequence[ExperimentSpec],
         events = ctx.events(name)
         verb = "loaded from trace store" if hit else "generated"
         note(f"workload {name!r}: {len(events)} events "
-             f"({sum(e.dispatched for e in events)} dispatched) "
+             f"({events.dispatched_count()} dispatched) "
              f"{verb} in {time.time() - start:.1f}s [{path}]")
     if needed:
         note("")

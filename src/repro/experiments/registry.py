@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.common import ExperimentResult
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace
 from repro.workloads.store import TraceStore
 
 #: DESIGN.md section-4 order; also the seed harness's stage order.
@@ -65,8 +65,15 @@ class RunContext:
             self._store = TraceStore(self.trace_dir)
         return self._store
 
-    def events(self, workload: str, **overrides) -> List[TraceEvent]:
-        """The named workload's trace at this run's scale/quick mode."""
+    def events(self, workload: str, **overrides) -> Trace:
+        """The named workload's trace at this run's scale/quick mode.
+
+        Loads go through the content-keyed store: what crosses a
+        process boundary is the workload *name* (in ``pool_args`` /
+        task arguments), never an event list -- each worker
+        re-attaches to the store and maps the columnar payload
+        straight into arrays.
+        """
         return self.store.load(workload, quick=self.quick,
                                scale=self.scale, **overrides)
 

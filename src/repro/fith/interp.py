@@ -20,9 +20,11 @@ Source language::
 Control words: ``if else then``, ``begin until``, ``begin while
 repeat``, ``do loop`` with ``i``/``j``, ``exit``.
 
-The interpreter records a :class:`~repro.trace.events.TraceEvent` per
-instruction when tracing is enabled: instruction address, opcode number
-and the class of the top of stack -- the exact record of section 5.
+The interpreter records one trace record per instruction when tracing
+is enabled -- instruction address, opcode number and the class of the
+top of stack, the exact record of section 5 -- into a columnar
+:class:`~repro.trace.columnar.TraceBuilder` (four packed ints per
+event, no object construction on the hot path).
 """
 
 from __future__ import annotations
@@ -40,7 +42,7 @@ from repro.fith.code import (
     FithOp,
     MACHINE_OP_SELECTORS,
 )
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import TraceBuilder
 
 _TRUE = Word.atom("true")
 _FALSE = Word.atom("false")
@@ -91,7 +93,8 @@ class FithMachine:
             "Array", self.object_class)
         self.stack: List[Word] = []
         self.output: List[Word] = []
-        self.trace: Optional[List[TraceEvent]] = [] if trace else None
+        self.trace: Optional[TraceBuilder] = \
+            TraceBuilder() if trace else None
         self.steps = 0
         self._objects: Dict[int, FithObject] = {}
         self._next_oid = 1
@@ -519,10 +522,10 @@ class FithMachine:
                     entry = plan[pc]
                     steps += 1
                     if trace is not None:
-                        trace.append(TraceEvent(
+                        trace.record(
                             base + pc, entry[4],
                             stack[-1].class_tag if stack else -1,
-                            dispatched=entry[5]))
+                            entry[5])
                     pc += 1
                     code = entry[0]
                     if code == _PUSH:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.fith.interp import FithMachine
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, TraceBuilder
 
 
 def hanoi(scale: int = 1) -> str:
@@ -491,7 +491,7 @@ CORPUS: Dict[str, Callable[[int], str]] = {
 
 
 def trace_for(name_or_source: str, scale: int = 1,
-              max_steps: int = 20_000_000) -> List[TraceEvent]:
+              max_steps: int = 20_000_000) -> Trace:
     """Run a corpus program (or literal source) and return its trace."""
     if name_or_source in CORPUS:
         source = CORPUS[name_or_source](scale)
@@ -499,26 +499,25 @@ def trace_for(name_or_source: str, scale: int = 1,
         source = name_or_source
     machine = FithMachine(trace=True)
     machine.run_source(source, max_steps=max_steps)
-    return machine.trace
+    return machine.trace.snapshot()
 
 
 def combined_trace(scale: int = 1, names=None,
-                   max_steps: int = 20_000_000) -> List[TraceEvent]:
+                   max_steps: int = 20_000_000) -> Trace:
     """Concatenate the whole corpus into one long measurement trace.
 
     Each program runs in its own machine; addresses are rebased so the
     programs occupy disjoint code regions, as separate programs would.
+    The concatenation is column-to-column (bulk array extends); no
+    per-event objects are built.
     """
-    events: List[TraceEvent] = []
+    builder = TraceBuilder()
     base = 0
     top = 0
     for name in (names or sorted(CORPUS)):
         part = trace_for(name, scale, max_steps)
-        for event in part:
-            address = event.address + base
-            top = max(top, address)
-            events.append(TraceEvent(address, event.opcode,
-                                     event.receiver_class,
-                                     event.dispatched))
+        builder.extend(part, address_offset=base)
+        if len(part):
+            top = max(top, base + max(part.addresses()))
         base = top + 64
-    return events
+    return builder.snapshot()

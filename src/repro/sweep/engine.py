@@ -45,7 +45,7 @@ does to a live cache.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 #: "Never referenced again" sentinel for OPT priorities; compares
 #: greater than every real trace index.
@@ -95,10 +95,34 @@ class MultiConfigLRU:
         (stable hash or block address); ``count=False`` updates stack
         state without recording depths (a warm-up pass).
         """
+        blocks = []
+        placements = []
+        for block, placement in refs:   # one pass: refs may be a
+            blocks.append(block)        # one-shot iterable
+            placements.append(placement)
+        self.replay_columns(blocks, placements, count=count)
+
+    def replay_columns(self, blocks: Sequence[Hashable],
+                       placements: Sequence[int],
+                       start: int = 0, stop: Optional[int] = None,
+                       count: bool = True) -> None:
+        """Reference ``blocks[i]`` placed by ``placements[i]`` in order.
+
+        The columnar twin of :meth:`replay`: two parallel indexable
+        columns (packed int arrays, memoryviews over a trace's
+        address column, or lists) instead of a stream of pair tuples,
+        plus ``start``/``stop`` bounds so the warm-up window split
+        replays sub-ranges without slicing (and without copying) the
+        columns.
+        """
+        if stop is None:
+            stop = len(blocks)
         levels = self._levels
         full = self._full
         n = 0
-        for block, placement in refs:
+        for index in range(start, stop):
+            block = blocks[index]
+            placement = placements[index]
             for mask, cap, sets, hist in levels:
                 bucket = placement & mask
                 lst = sets.get(bucket)

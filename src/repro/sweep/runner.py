@@ -20,56 +20,82 @@ equivalence is pinned by tests/test_sweep.py under both versions.
 
 ``meta["trace_passes"]`` counts *simulation replays* of the event
 stream -- the number of times a cache model observed every reference.
-Cheap preprocessing (building the filtered reference list, the OPT
+Cheap preprocessing (building the filtered reference columns, the OPT
 next-use scan) is not a simulation replay and is reported separately
 as ``meta["aux_passes"]``.
+
+Reference streams are *columns*, not event objects: the drivers read
+the packed int columns of a :class:`~repro.trace.columnar.Trace`
+directly (the icache stream for one-word lines is literally the
+trace's address column, zero-copy) and feed the engines through
+:meth:`~repro.sweep.engine.MultiConfigLRU.replay_columns`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from array import array
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.caches.setassoc import stable_hash
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
 from repro.sweep.spec import HierarchySpec, SweepSpec
 from repro.sweep.surface import Cell, ResultSurface
 from repro.trace.cachesim import simulate_icache, simulate_itlb
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, as_trace
 from repro.trace.semantics import reset_index
 
-#: One reference: (block identity, placement integer).
-Ref = Tuple[object, int]
+#: A reference stream: parallel (block identity, placement) columns.
+RefColumns = Tuple[Sequence, Sequence[int]]
 
 
 # -- reference streams ----------------------------------------------------
 
-def _itlb_refs(events: Sequence[TraceEvent],
-               dispatched_only: bool) -> List[Ref]:
-    """The (key, stable hash) stream the ITLB sees."""
-    hashes: Dict[Tuple, int] = {}
-    refs: List[Ref] = []
-    append = refs.append
-    for event in events:
-        if dispatched_only and not event.dispatched:
-            continue
-        key = (event.opcode, (event.receiver_class,))
-        placement = hashes.get(key)
+def _itlb_ref_columns(trace: Trace, dispatched_only: bool) -> RefColumns:
+    """The (key, stable hash) columns the ITLB sees.
+
+    Block identities are the opcode/class pair packed into one int
+    (injective for the 32-bit column values), so the hot replay loop
+    never builds a key tuple; the placement hash -- which must stay
+    bitwise-identical to the set placement the real ITLB computes --
+    is memoized per distinct key, so the tuple it hashes is built
+    once per key instead of once per reference.
+    """
+    opcodes = trace.opcodes()
+    classes = trace.receiver_classes()
+    indices = (trace.dispatched_indices() if dispatched_only
+               else range(len(trace)))
+    blocks = array("q")
+    placements = array("Q")
+    hashes: Dict[int, int] = {}
+    block_append = blocks.append
+    placement_append = placements.append
+    for i in indices:
+        opcode = opcodes[i]
+        receiver = classes[i]
+        packed = (opcode << 32) ^ (receiver & 0xFFFFFFFF)
+        placement = hashes.get(packed)
         if placement is None:
-            placement = hashes[key] = stable_hash(key)
-        append((key, placement))
-    return refs
+            placement = hashes[packed] = stable_hash(
+                (opcode, (receiver,)))
+        block_append(packed)
+        placement_append(placement)
+    return blocks, placements
 
 
-def _icache_refs(events: Sequence[TraceEvent],
-                 line_words: int) -> List[Ref]:
-    """The (block, block) stream the icache sees (modulo indexing)."""
+def _icache_ref_columns(trace: Trace, line_words: int) -> RefColumns:
+    """The (block, block) columns the icache sees (modulo indexing).
+
+    For one-word lines the address column itself serves as both
+    identity and placement -- a zero-copy view, nothing built at all.
+    """
+    addresses = trace.addresses()
     if line_words == 1:
-        return [(event.address, event.address) for event in events]
-    return [(event.address // line_words, event.address // line_words)
-            for event in events]
+        return addresses, addresses
+    blocks = array("q", (address // line_words for address in addresses))
+    return blocks, blocks
 
 
-def _reset_touch(spec: SweepSpec, events: Sequence[TraceEvent],
+def _reset_touch(spec: SweepSpec, events: Sequence,
                  n_refs: int) -> Optional[int]:
     """Where in the *reference* stream the warm-up stats reset lands.
 
@@ -101,10 +127,12 @@ def _geometry(spec: SweepSpec) -> Tuple[Dict[int, int], int]:
 
 
 def _run_single_pass(spec: SweepSpec,
-                     events: Sequence[TraceEvent]) -> ResultSurface:
-    refs = (_itlb_refs(events, spec.dispatched_only)
-            if spec.cache == "itlb"
-            else _icache_refs(events, spec.line_words))
+                     events: Sequence) -> ResultSurface:
+    trace = as_trace(events)
+    blocks, placements = (_itlb_ref_columns(trace, spec.dispatched_only)
+                          if spec.cache == "itlb"
+                          else _icache_ref_columns(trace, spec.line_words))
+    n_refs = len(blocks)
     level_caps, full_cap = _geometry(spec)
     engine = MultiConfigLRU(level_caps, full_cap)
     opt = OptStack(max(spec.entries(s) for s in spec.sizes)) \
@@ -113,35 +141,37 @@ def _run_single_pass(spec: SweepSpec,
     passes = 0
     aux = 1  # the reference-stream build
     if spec.double_pass:
-        engine.replay(refs, count=False)
-        engine.replay(refs, count=True)
+        engine.replay_columns(blocks, placements, count=False)
+        engine.replay_columns(blocks, placements, count=True)
         passes += 2
         if opt is not None:
-            blocks = [block for block, _ in refs]
-            next_use = next_use_times(blocks + blocks)
-            warm = len(blocks)
-            for i, block in enumerate(blocks):
-                opt.touch(block, next_use[i], count=False)
-            for i, block in enumerate(blocks):
-                opt.touch(block, next_use[warm + i], count=True)
+            doubled = list(blocks)
+            doubled += doubled
+            next_use = next_use_times(doubled)
+            for i in range(n_refs):
+                opt.touch(blocks[i], next_use[i], count=False)
+            for i in range(n_refs):
+                opt.touch(blocks[i], next_use[n_refs + i], count=True)
             passes += 2
             aux += 1
     else:
-        reset_at = _reset_touch(spec, events, len(refs))
+        reset_at = _reset_touch(spec, trace, n_refs)
         # Counting-then-resetting is the same as not counting (state
         # evolution never depends on the counters), so the warm-up
         # window splits into two bulk replays around the reset point.
         if reset_at is None:
-            engine.replay(refs, count=True)
+            engine.replay_columns(blocks, placements, count=True)
         else:
-            engine.replay(refs[:reset_at], count=False)
-            engine.replay(refs[reset_at:], count=True)
+            engine.replay_columns(blocks, placements,
+                                  stop=reset_at, count=False)
+            engine.replay_columns(blocks, placements,
+                                  start=reset_at, count=True)
         passes += 1
         if opt is not None:
-            next_use = next_use_times([block for block, _ in refs])
+            next_use = next_use_times(blocks)
             aux += 1
-            for index, (block, _) in enumerate(refs):
-                opt.touch(block, next_use[index],
+            for index in range(n_refs):
+                opt.touch(blocks[index], next_use[index],
                           count=(reset_at is None or index >= reset_at))
             passes += 1
 
@@ -174,15 +204,15 @@ def _run_single_pass(spec: SweepSpec,
         "semantics": spec.semantics,
         "trace_passes": passes,
         "aux_passes": aux,
-        "events": len(events),
-        "references": len(refs),
+        "events": len(trace),
+        "references": n_refs,
         "measured": total,
     })
 
 
 # -- the per-configuration grid path ---------------------------------------
 
-def _simulate_cell(spec: SweepSpec, events: Sequence[TraceEvent],
+def _simulate_cell(spec: SweepSpec, events: Sequence,
                    size: int, assoc) -> Cell:
     kwargs = dict(policy=spec.policy,
                   warmup_fraction=spec.warmup_fraction,
@@ -199,7 +229,7 @@ def _simulate_cell(spec: SweepSpec, events: Sequence[TraceEvent],
 
 
 def _run_grid(spec: SweepSpec,
-              events: Sequence[TraceEvent]) -> ResultSurface:
+              events: Sequence) -> ResultSurface:
     per_sim = 2 if spec.double_pass else 1
     passes = 0
     counts: Dict[object, Dict[int, Cell]] = {}
@@ -244,8 +274,15 @@ def _run_grid(spec: SweepSpec,
 # -- public entry points ---------------------------------------------------
 
 def run_sweep(spec: SweepSpec,
-              events: Sequence[TraceEvent]) -> ResultSurface:
-    """Execute one sweep over a trace, choosing the engine per spec."""
+              events: Sequence) -> ResultSurface:
+    """Execute one sweep over a trace, choosing the engine per spec.
+
+    ``events`` may be a columnar :class:`~repro.trace.columnar.Trace`
+    (the store's native type; iterated column-wise throughout) or a
+    legacy ``TraceEvent`` sequence, which is packed into columns once
+    up front.
+    """
+    events = as_trace(events)
     if spec.engine == "grid":
         return _run_grid(spec, events)
     eligible = spec.single_pass_eligible()
@@ -259,13 +296,14 @@ def run_sweep(spec: SweepSpec,
 
 
 def run_hierarchy(hierarchy: HierarchySpec,
-                  events: Sequence[TraceEvent]) -> Tuple[ResultSurface, ...]:
+                  events: Sequence) -> Tuple[ResultSurface, ...]:
     """Run every level of a hierarchy over one trace, in order."""
+    events = as_trace(events)
     return tuple(run_sweep(level, events) for level in hierarchy.levels)
 
 
 def run_semantics_delta(
-    spec: SweepSpec, events: Sequence[TraceEvent],
+    spec: SweepSpec, events: Sequence,
 ) -> Tuple[ResultSurface, ResultSurface, Dict[object, Dict[int, float]]]:
     """One spec under both semantics: (paper, v2, v2 - paper ratios).
 

@@ -10,6 +10,7 @@ from repro.trace.cachesim import (
     sweep_icache,
     sweep_itlb,
 )
+from repro.trace.columnar import Trace, TraceBuilder, as_trace
 from repro.trace.events import TraceEvent, addresses, dispatched_only, split_warmup
 from repro.trace.semantics import (
     DEFAULT_SEMANTICS,
@@ -17,14 +18,16 @@ from repro.trace.semantics import (
     reset_index,
     validate_semantics,
     validate_warmup_fraction,
+    warmup_cut,
 )
 from repro.trace.workloads import interleaved_trace, monomorphic_trace, paper_trace
 
 __all__ = [
     "DEFAULT_SEMANTICS", "PAPER_ASSOCIATIVITIES", "PAPER_SIZES",
-    "SEMANTICS", "SweepResult", "TraceEvent",
-    "addresses", "ascii_plot", "dispatched_only", "interleaved_trace",
-    "monomorphic_trace", "paper_trace", "reset_index", "simulate_icache",
-    "simulate_itlb", "split_warmup", "sweep_icache", "sweep_itlb",
-    "validate_semantics", "validate_warmup_fraction",
+    "SEMANTICS", "SweepResult", "Trace", "TraceBuilder", "TraceEvent",
+    "addresses", "as_trace", "ascii_plot", "dispatched_only",
+    "interleaved_trace", "monomorphic_trace", "paper_trace",
+    "reset_index", "simulate_icache", "simulate_itlb", "split_warmup",
+    "sweep_icache", "sweep_itlb", "validate_semantics",
+    "validate_warmup_fraction", "warmup_cut",
 ]

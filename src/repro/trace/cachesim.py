@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.caches.icache import InstructionCache
 from repro.caches.itlb import ITLB
 from repro.caches.stats import CacheStats
+from repro.trace.columnar import as_trace
 from repro.trace.events import TraceEvent
 from repro.trace.semantics import DEFAULT_SEMANTICS, reset_index
 
@@ -56,25 +57,36 @@ def simulate_itlb(
     cut placed by :func:`repro.trace.semantics.reset_index` under the
     chosen ``semantics`` version (``"paper"`` reproduces the
     historical quirks bit-for-bit; ``"v2"`` fixes them).
+
+    The replay iterates the packed opcode/class columns of a columnar
+    :class:`~repro.trace.columnar.Trace` (legacy event lists are
+    packed once up front); no per-event objects are touched.
     """
     itlb = ITLB(size, associativity, policy)
-    refs = [event for event in events
-            if not dispatched_only or event.dispatched]
+    trace = as_trace(events)
+    opcodes = trace.opcodes()
+    classes = trace.receiver_classes()
+    indices = (trace.dispatched_indices() if dispatched_only
+               else range(len(trace)))
+    reference = itlb.reference
     if double_pass:
-        for event in refs:
-            itlb.reference(event.opcode, (event.receiver_class,))
+        for i in indices:
+            reference(opcodes[i], (classes[i],))
         itlb.reset_stats()
-        for event in refs:
-            itlb.reference(event.opcode, (event.receiver_class,))
+        for i in indices:
+            reference(opcodes[i], (classes[i],))
         return itlb.stats.snapshot()
-    reset_at = reset_index(semantics, "itlb", events, len(refs),
+    n_refs = len(indices)
+    reset_at = reset_index(semantics, "itlb", trace, n_refs,
                            warmup_fraction=warmup_fraction,
                            dispatched_only=dispatched_only)
-    for index, event in enumerate(refs):
-        if index == reset_at:
+    position = 0
+    for i in indices:
+        if position == reset_at:
             itlb.reset_stats()
-        itlb.reference(event.opcode, (event.receiver_class,))
-    if reset_at is not None and reset_at >= len(refs):
+        reference(opcodes[i], (classes[i],))
+        position += 1
+    if reset_at is not None and reset_at >= n_refs:
         itlb.reset_stats()
     return itlb.stats.snapshot()
 
@@ -95,20 +107,23 @@ def simulate_icache(
     See :func:`simulate_itlb` for the warm-up semantics.
     """
     icache = InstructionCache(size, associativity, line_words, policy)
+    trace = as_trace(events)
+    addresses = trace.addresses()
+    reference = icache.reference
     if double_pass:
-        for event in events:
-            icache.reference(event.address)
+        for address in addresses:
+            reference(address)
         icache.reset_stats()
-        for event in events:
-            icache.reference(event.address)
+        for address in addresses:
+            reference(address)
         return icache.stats.snapshot()
-    reset_at = reset_index(semantics, "icache", events, len(events),
+    reset_at = reset_index(semantics, "icache", trace, len(trace),
                            warmup_fraction=warmup_fraction)
-    for index, event in enumerate(events):
+    for index, address in enumerate(addresses):
         if index == reset_at:
             icache.reset_stats()
-        icache.reference(event.address)
-    if reset_at is not None and reset_at >= len(events):
+        reference(address)
+    if reset_at is not None and reset_at >= len(trace):
         icache.reset_stats()
     return icache.stats.snapshot()
 

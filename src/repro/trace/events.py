@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
-from repro.trace.semantics import validate_warmup_fraction
+from repro.trace.semantics import (
+    DEFAULT_SEMANTICS,
+    validate_warmup_fraction,
+    warmup_cut,
+)
 
 
 @dataclass(frozen=True)
@@ -36,16 +40,24 @@ class TraceEvent:
 
 
 def split_warmup(
-    events: List[TraceEvent], warmup_fraction: float = 0.25
+    events: List[TraceEvent], warmup_fraction: float = 0.25,
+    *, semantics: str = DEFAULT_SEMANTICS,
 ) -> Tuple[List[TraceEvent], List[TraceEvent]]:
     """Split a trace into (warm-up, measurement) parts.
 
     Section 5: "A warmup trace was run before the measurement trace to
     avoid biasing the results by the initial faulting in of data into
     the caches."
+
+    The cut placement is owned by the versioned semantics module
+    (:func:`repro.trace.semantics.warmup_cut`) rather than re-derived
+    here; the default stays bit-for-bit the historical ``"paper"``
+    behaviour (``int(len(events) * warmup_fraction)`` raw event
+    indices).  Splitting a columnar :class:`~repro.trace.columnar.Trace`
+    returns two zero-copy views.
     """
     validate_warmup_fraction(warmup_fraction)
-    cut = int(len(events) * warmup_fraction)
+    cut = warmup_cut(semantics, len(events), warmup_fraction)
     return events[:cut], events[cut:]
 
 

@@ -91,6 +91,22 @@ def validate_warmup_fraction(fraction: float) -> float:
     return fraction
 
 
+def warmup_cut(semantics: str, n: int, warmup_fraction: float) -> int:
+    """The raw warm-up cut index over a stream of ``n`` items.
+
+    The single audited home of the cut *arithmetic*:
+    ``int(n * warmup_fraction)``, identical under every known
+    semantics version -- the versions differ in **which** stream the
+    cut is taken over (raw events vs observed references) and in how
+    the reset fires, which is :func:`reset_index`'s business, not in
+    the arithmetic itself.  :func:`repro.trace.events.split_warmup`
+    and :func:`reset_index` both route through here so a second cut
+    implementation cannot creep back in.
+    """
+    validate_semantics(semantics)
+    return int(n * warmup_fraction)
+
+
 def reset_index(
     semantics: str,
     cache: str,
@@ -115,11 +131,10 @@ def reset_index(
     ``"v2"`` the cut is ``int(n_refs * warmup_fraction)`` for both
     caches and always takes effect.
     """
-    validate_semantics(semantics)
     if semantics == "v2":
-        cut = int(n_refs * warmup_fraction)
+        cut = warmup_cut(semantics, n_refs, warmup_fraction)
         return min(max(cut, 0), n_refs)
-    cut = int(len(events) * warmup_fraction)
+    cut = warmup_cut(semantics, len(events), warmup_fraction)
     if cut < 0:
         # A negative cut never matched a loop index in the historical
         # simulate_* loops: the reset never fires.
@@ -130,7 +145,16 @@ def reset_index(
         return cut if cut < len(events) else None
     if cut >= len(events):
         return n_refs  # simulate_itlb's trailing reset
-    if dispatched_only and not events[cut].dispatched:
-        return None    # the cut event is filtered out: never resets
-    return sum(1 for event in events[:cut]
-               if not dispatched_only or event.dispatched)
+    if not dispatched_only:
+        return cut
+    # Columnar traces answer "is the cut event dispatched?" and "how
+    # many dispatched references precede it?" from the bitset; event
+    # lists walk objects as the historical loops did.
+    flag = getattr(events, "dispatched_flag", None)
+    if flag is not None:
+        if not flag(cut):
+            return None    # the cut event is filtered out: never resets
+        return events.dispatched_count(cut)
+    if not events[cut].dispatched:
+        return None        # the cut event is filtered out: never resets
+    return sum(1 for event in events[:cut] if event.dispatched)

@@ -16,17 +16,15 @@ generator version so cached traces invalidate.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.fith.interp import FithMachine
 from repro.fith.programs import CORPUS, combined_trace, polymorphic_workload
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, TraceBuilder
 
 
 def paper_trace(scale: int = 1, *, classes: int = 20, selectors: int = 32,
                 rounds: int = 450, phase_length: int = 700,
                 stray_percent: int = 2,
-                hot_selectors: int = 10) -> List[TraceEvent]:
+                hot_selectors: int = 10) -> Trace:
     """The standard measurement trace: corpus + polymorphic workload.
 
     At scale 1 this yields well over the paper's 20,000 instructions
@@ -38,8 +36,8 @@ def paper_trace(scale: int = 1, *, classes: int = 20, selectors: int = 32,
     associativity to reach 99% (figure 11).  The polymorphic section is
     rebased past the corpus's code region.
     """
-    events = combined_trace(scale)
-    top = max((event.address for event in events), default=0)
+    corpus = combined_trace(scale)
+    top = max(corpus.addresses()) if len(corpus) else 0
     machine = FithMachine(trace=True)
     machine.run_source(
         polymorphic_workload(classes=classes, selectors=selectors,
@@ -49,43 +47,46 @@ def paper_trace(scale: int = 1, *, classes: int = 20, selectors: int = 32,
                              hot_selectors=hot_selectors),
         max_steps=50_000_000,
     )
-    base = top + 64
-    for event in machine.trace:
-        events.append(TraceEvent(event.address + base, event.opcode,
-                                 event.receiver_class, event.dispatched))
-    return events
+    builder = TraceBuilder()
+    builder.extend(corpus)
+    builder.extend(machine.trace, address_offset=top + 64)
+    return builder.snapshot()
 
 
-def interleaved_trace(scale: int = 1, chunk: int = 2000) -> List[TraceEvent]:
+def interleaved_trace(scale: int = 1, chunk: int = 2000) -> Trace:
     """Corpus programs round-robin interleaved in ``chunk``-event slices.
 
     Models multiprogramming: the instruction cache and ITLB see
     alternating working sets (a harder workload than one long program).
+    Each slice is a zero-copy view of its program's trace, rebased at
+    append time -- no intermediate event objects.
     """
-    parts: List[List[TraceEvent]] = []
+    parts = []
     base = 0
     for name in sorted(CORPUS):
         machine = FithMachine(trace=True)
         machine.run_source(CORPUS[name](scale), max_steps=20_000_000)
-        rebased = [TraceEvent(e.address + base, e.opcode, e.receiver_class,
-                              e.dispatched) for e in machine.trace]
-        parts.append(rebased)
+        parts.append((machine.trace.snapshot(), base))
         base += 1 << 16
-    events: List[TraceEvent] = []
+    builder = TraceBuilder()
     cursors = [0] * len(parts)
-    remaining = sum(len(part) for part in parts)
+    remaining = sum(len(part) for part, _ in parts)
     while remaining:
-        for index, part in enumerate(parts):
+        for index, (part, part_base) in enumerate(parts):
             start = cursors[index]
             if start >= len(part):
                 continue
             stop = min(start + chunk, len(part))
-            events.extend(part[start:stop])
+            builder.extend(part[start:stop], address_offset=part_base)
             remaining -= stop - start
             cursors[index] = stop
-    return events
+    return builder.snapshot()
 
 
-def monomorphic_trace(length: int = 20_000) -> List[TraceEvent]:
+def monomorphic_trace(length: int = 20_000) -> Trace:
     """A degenerate single-key trace (control for cache experiments)."""
-    return [TraceEvent(i % 64, 1, 1) for i in range(length)]
+    builder = TraceBuilder()
+    record = builder.record
+    for i in range(length):
+        record(i % 64, 1, 1)
+    return builder.snapshot()

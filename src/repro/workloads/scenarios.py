@@ -17,8 +17,6 @@ store and tests pick it up automatically.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.config import make_fith
 from repro.fith.programs import (
     deep_calls,
@@ -26,7 +24,7 @@ from repro.fith.programs import (
     megamorphic,
     redefinition_epoch,
 )
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace
 from repro.trace.workloads import (
     interleaved_trace,
     monomorphic_trace,
@@ -49,10 +47,10 @@ def workload(name: str, description: str, *, defaults=None, quick=None,
     return wrap
 
 
-def _run_traced(source: str) -> List[TraceEvent]:
+def _run_traced(source: str) -> Trace:
     machine = make_fith(trace=True)
     machine.run_source(source, max_steps=_MAX_STEPS)
-    return machine.trace
+    return machine.trace.snapshot()
 
 
 # -- ports of the original hand-wired traces ---------------------------
@@ -100,7 +98,7 @@ register(WorkloadSpec(
     defaults={"scale": 1, "slots": 16, "batch": 48},
 )
 def _gc_churn_events(scale: int = 1, slots: int = 16,
-                     batch: int = 48) -> List[TraceEvent]:
+                     batch: int = 48) -> Trace:
     return _run_traced(gc_churn(scale, slots=slots, batch=batch))
 
 
@@ -111,7 +109,7 @@ def _gc_churn_events(scale: int = 1, slots: int = 16,
     defaults={"scale": 1, "classes": 26},
 )
 def _megamorphic_events(scale: int = 1,
-                        classes: int = 26) -> List[TraceEvent]:
+                        classes: int = 26) -> Trace:
     return _run_traced(megamorphic(scale, classes=classes))
 
 
@@ -123,7 +121,7 @@ def _megamorphic_events(scale: int = 1,
     quick={"depth": 200},
 )
 def _deep_calls_events(scale: int = 1,
-                       depth: int = 500) -> List[TraceEvent]:
+                       depth: int = 500) -> Trace:
     return _run_traced(deep_calls(scale, depth=depth))
 
 
@@ -136,9 +134,9 @@ def _deep_calls_events(scale: int = 1,
     quick={"epochs": 4},
 )
 def _redefine_churn_events(scale: int = 1, epochs: int = 8,
-                           classes: int = 6) -> List[TraceEvent]:
+                           classes: int = 6) -> Trace:
     machine = make_fith(trace=True)
     for epoch in range(epochs):
         machine.load(redefinition_epoch(epoch, scale, classes=classes))
         machine.run(max_steps=_MAX_STEPS)
-    return machine.trace
+    return machine.trace.snapshot()

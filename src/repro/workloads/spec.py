@@ -1,7 +1,7 @@
 """The workload registry: named, parameterized scenario generators.
 
 A :class:`WorkloadSpec` describes one trace-producing scenario: a
-name, a generator function (``**params -> List[TraceEvent]``), its
+name, a generator function (``**params -> Trace``), its
 default parameters, the overrides applied in ``--quick`` mode, and a
 *generator version*.  The version participates in the trace store's
 cache key (:mod:`repro.workloads.store`), so bumping it whenever the
@@ -17,9 +17,9 @@ harness, the benchmarks -- picks it up from the registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, Mapping, Tuple
 
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import Trace, as_trace
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,7 @@ class WorkloadSpec:
 
     name: str
     description: str
-    build: Callable[..., List[TraceEvent]]
+    build: Callable[..., Trace]
     defaults: Mapping[str, object] = field(default_factory=dict)
     quick_overrides: Mapping[str, object] = field(default_factory=dict)
     version: int = 1
@@ -61,8 +61,14 @@ class WorkloadSpec:
             params.update(overrides)
         return params
 
-    def generate(self, params: Mapping[str, object]) -> List[TraceEvent]:
-        return self.build(**params)
+    def generate(self, params: Mapping[str, object]) -> Trace:
+        """Run the generator, coercing its output to a columnar Trace.
+
+        Registered generators already emit columns; the coercion is
+        a pass-through for them and a one-time packing for ad-hoc
+        specs that still build ``TraceEvent`` lists.
+        """
+        return as_trace(self.build(**params))
 
 
 _REGISTRY: Dict[str, WorkloadSpec] = {}

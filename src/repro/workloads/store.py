@@ -6,15 +6,21 @@ scratch -- seconds of pure regeneration per process.  The store keys
 each materialized trace by ``(spec name, parameters, generator
 version)`` -- hashed into a content key -- and keeps it under
 ``.repro_traces/`` (override with ``REPRO_TRACE_DIR`` or the
-``root`` argument) in a flat binary format that loads in tens of
-milliseconds.
+``root`` argument) in the columnar binary format of
+:mod:`repro.trace.columnar`: the payload *is* the in-memory column
+set (three little-endian int columns plus the dispatched bitset), so
+a load is four bulk ``frombytes`` copies into a
+:class:`~repro.trace.columnar.Trace` -- no per-event object is ever
+constructed on the load path.
 
 Cache rules:
 
 * **key** -- sha256 over the canonical JSON of ``{name, version,
   format, params}``.  Different parameters or a bumped generator
   version produce a different key; nothing is ever invalidated in
-  place.
+  place.  ``format`` is the columnar payload version
+  (:data:`repro.trace.columnar.FORMAT_VERSION`), so a layout change
+  invalidates by missing, never by misreading.
 * **write** -- to a temp file in the same directory then
   ``os.replace``, so concurrent writers (the parallel harness's
   workers) can race harmlessly: last atomic rename wins and both
@@ -35,24 +41,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import tempfile
-from array import array
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.trace.events import TraceEvent
+from repro.trace.columnar import FORMAT_VERSION, Trace, as_trace
 from repro.workloads.spec import WorkloadSpec, get as get_spec
-
-#: Bump when the binary layout changes; participates in the cache key.
-FORMAT_VERSION = 1
-_MAGIC = b"RTRC"
-#: 4-byte signed payload words; every TraceEvent field fits.  The
-#: on-disk byte order is little-endian regardless of host (the store
-#: may be shared via CI caches or a network filesystem), so big-endian
-#: hosts byte-swap on the way in and out.
-_INT = "i" if array("i").itemsize == 4 else "l"
-_SWAP = sys.byteorder == "big"
 
 
 def default_root() -> Path:
@@ -74,7 +68,7 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.generated = 0
-        self._memo: Dict[str, List[TraceEvent]] = {}
+        self._memo: Dict[str, Trace] = {}
 
     # -- keying ---------------------------------------------------------
 
@@ -94,7 +88,7 @@ class TraceStore:
 
     def load(self, name_or_spec, *, quick: bool = False,
              scale: Optional[int] = None,
-             **overrides) -> List[TraceEvent]:
+             **overrides) -> Trace:
         """Load a workload's trace, generating and caching on miss."""
         spec = (name_or_spec if isinstance(name_or_spec, WorkloadSpec)
                 else get_spec(name_or_spec))
@@ -116,7 +110,7 @@ class TraceStore:
         return path, self.generated == before
 
     def _load_resolved(self, spec: WorkloadSpec,
-                       params: Mapping[str, object]) -> List[TraceEvent]:
+                       params: Mapping[str, object]) -> Trace:
         key = self.key_for(spec, params)
         memo = self._memo.get(key)
         if memo is not None:
@@ -139,41 +133,23 @@ class TraceStore:
     # -- binary format --------------------------------------------------
 
     @staticmethod
-    def serialize(events: List[TraceEvent]) -> bytes:
-        flat = array(_INT)
-        for event in events:
-            flat.extend((event.address, event.opcode,
-                         event.receiver_class, int(event.dispatched)))
-        if _SWAP:
-            flat.byteswap()
-        header = _MAGIC + bytes([FORMAT_VERSION]) + \
-            len(events).to_bytes(4, "little")
-        return header + flat.tobytes()
+    def serialize(events) -> bytes:
+        """The columnar payload of a trace (or legacy event list)."""
+        return as_trace(events).to_bytes()
 
     @staticmethod
-    def deserialize(blob: bytes) -> List[TraceEvent]:
-        if len(blob) < 9 or blob[:4] != _MAGIC or blob[4] != FORMAT_VERSION:
-            raise ValueError("not a trace-store blob")
-        count = int.from_bytes(blob[5:9], "little")
-        flat = array(_INT)
-        flat.frombytes(blob[9:])
-        if _SWAP:
-            flat.byteswap()
-        if len(flat) != count * 4:
-            raise ValueError("truncated trace-store blob")
-        return [TraceEvent(flat[i], flat[i + 1], flat[i + 2],
-                           bool(flat[i + 3]))
-                for i in range(0, len(flat), 4)]
+    def deserialize(blob: bytes) -> Trace:
+        """Columns straight from the payload; zero TraceEvent objects."""
+        return Trace.from_bytes(blob)
 
-    def _read(self, path: Path) -> Optional[List[TraceEvent]]:
+    def _read(self, path: Path) -> Optional[Trace]:
         try:
             return self.deserialize(path.read_bytes())
         except (OSError, ValueError):
             return None
 
     def _write(self, path: Path, spec: WorkloadSpec,
-               params: Mapping[str, object],
-               events: List[TraceEvent]) -> None:
+               params: Mapping[str, object], events: Trace) -> None:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             blob = self.serialize(events)
@@ -201,7 +177,8 @@ class TraceStore:
     @staticmethod
     def _sidecar_meta(name: str, version,
                       params: Optional[Mapping[str, object]],
-                      events: List[TraceEvent]) -> dict:
+                      events) -> dict:
+        trace = as_trace(events)
         return {
             "workload": name,
             "version": version,
@@ -210,8 +187,8 @@ class TraceStore:
                 k: repr(v) if not isinstance(
                     v, (int, float, str, bool, type(None))) else v
                 for k, v in params.items()},
-            "events": len(events),
-            "dispatched": sum(1 for e in events if e.dispatched),
+            "events": len(trace),
+            "dispatched": trace.dispatched_count(),
         }
 
     @staticmethod
@@ -240,9 +217,9 @@ class TraceStore:
         Enumerates the binary payloads, not the sidecars: a trace
         whose sidecar is missing or corrupt is still listed, with its
         metadata reconstructed from the payload (workload name from
-        the file name, event counts from the events themselves; the
-        generator version and parameters are unrecoverable and marked
-        so) and the sidecar healed on disk for the next caller.
+        the file name, event counts from the columns; the generator
+        version and parameters are unrecoverable and marked so) and
+        the sidecar healed on disk for the next caller.
         """
         out = []
         for trace_path in sorted(self.root.glob("*.trace")):

@@ -69,6 +69,38 @@ WINDOWS = [
 SEMANTICS = ("paper", "v2")
 
 
+class TestReplayInterfaces:
+    """replay (pair stream) and replay_columns (parallel columns) are
+    the same engine; pair streams may be one-shot iterables."""
+
+    def _refs(self):
+        return [(i * 3 % 7, i * 3 % 7) for i in range(50)]
+
+    def test_replay_accepts_a_generator(self):
+        from repro.sweep.engine import MultiConfigLRU
+        refs = self._refs()
+        from_list = MultiConfigLRU({1: 2})
+        from_list.replay(refs)
+        from_gen = MultiConfigLRU({1: 2})
+        from_gen.replay(ref for ref in refs)   # one-shot iterable
+        assert from_gen.total == from_list.total == len(refs)
+        assert from_gen.hits(1, 2) == from_list.hits(1, 2)
+
+    def test_replay_columns_windowing_matches_slicing(self):
+        from repro.sweep.engine import MultiConfigLRU
+        refs = self._refs()
+        blocks = [block for block, _ in refs]
+        whole = MultiConfigLRU({1: 2}, full_cap=4)
+        whole.replay(refs[:20], count=False)
+        whole.replay(refs[20:], count=True)
+        windowed = MultiConfigLRU({1: 2}, full_cap=4)
+        windowed.replay_columns(blocks, blocks, stop=20, count=False)
+        windowed.replay_columns(blocks, blocks, start=20, count=True)
+        assert windowed.total == whole.total
+        assert windowed.hits(1, 2) == whole.hits(1, 2)
+        assert windowed.full_hits(4) == whole.full_hits(4)
+
+
 class TestSinglePassGridEquivalence:
     """The acceptance-critical pins: engine == grid, bitwise, under
     both measurement-semantics versions."""

@@ -211,13 +211,14 @@ class TestSidecarResilience:
 
 
 class TestByteSwap:
-    """The big-endian path of the binary format: the payload is
+    """The big-endian path of the binary format: the int columns are
     little-endian on disk regardless of host, so a big-endian host
-    (``_SWAP`` true) byteswaps on the way in and out.  Monkeypatching
-    the flag on a little-endian host simulates the *mechanism* in
-    mirror image: serialize and deserialize must stay inverses under
-    either setting, with every payload word byte-reversed relative to
-    the native blob -- exactly the transformation that makes a real
+    (``_SWAP`` true) byteswaps them on the way in and out (the
+    dispatched bitset is byte-order independent).  Monkeypatching the
+    flag on a little-endian host simulates the *mechanism* in mirror
+    image: serialize and deserialize must stay inverses under either
+    setting, with every column word byte-reversed relative to the
+    native blob -- exactly the transformation that makes a real
     big-endian host land on the little-endian disk layout."""
 
     EVENTS = [TraceEvent(12345, 7, -1, False),
@@ -225,45 +226,49 @@ class TestByteSwap:
               TraceEvent(-70000, 255, 4, True)]
 
     def _blob(self, monkeypatch, swap):
-        import repro.workloads.store as store_module
-        monkeypatch.setattr(store_module, "_SWAP", swap)
+        import repro.trace.columnar as columnar_module
+        monkeypatch.setattr(columnar_module, "_SWAP", swap)
         return TraceStore.serialize(self.EVENTS)
 
     @pytest.mark.parametrize("swap", [False, True],
                              ids=["native", "swapped"])
     def test_roundtrip_both_ways(self, monkeypatch, swap):
-        import repro.workloads.store as store_module
-        monkeypatch.setattr(store_module, "_SWAP", swap)
+        import repro.trace.columnar as columnar_module
+        monkeypatch.setattr(columnar_module, "_SWAP", swap)
         blob = TraceStore.serialize(self.EVENTS)
         assert TraceStore.deserialize(blob) == self.EVENTS
 
-    def test_swapped_writer_flips_payload_bytes_only(self, monkeypatch):
+    def test_swapped_writer_flips_column_words_only(self, monkeypatch):
         native = self._blob(monkeypatch, False)
         swapped = self._blob(monkeypatch, True)
         # Header (magic, format byte, little-endian count) is
         # byte-order independent ...
         assert native[:9] == swapped[:9]
-        # ... and every payload word is the 4-byte reversal of its
-        # native counterpart.
+        # ... every int-column word (three columns of 4-byte words
+        # follow the header) is the 4-byte reversal of its native
+        # counterpart ...
         assert native != swapped
-        for offset in range(9, len(native), 4):
+        columns_end = 9 + 3 * 4 * len(self.EVENTS)
+        for offset in range(9, columns_end, 4):
             assert swapped[offset:offset + 4] == \
                 native[offset:offset + 4][::-1]
+        # ... and the trailing dispatched bitset is untouched.
+        assert native[columns_end:] == swapped[columns_end:]
 
     def test_cross_order_read_is_detected_or_differs(self, monkeypatch):
         # A blob written under one byte order and read under the other
-        # must not silently round-trip: the payload decodes to
+        # must not silently round-trip: the columns decode to
         # different (byte-swapped) event fields.
-        import repro.workloads.store as store_module
+        import repro.trace.columnar as columnar_module
         native = self._blob(monkeypatch, False)
-        monkeypatch.setattr(store_module, "_SWAP", True)
+        monkeypatch.setattr(columnar_module, "_SWAP", True)
         misread = TraceStore.deserialize(native)
         assert misread != self.EVENTS
 
     def test_store_roundtrip_under_simulated_big_endian(
             self, monkeypatch, tmp_path):
-        import repro.workloads.store as store_module
-        monkeypatch.setattr(store_module, "_SWAP", True)
+        import repro.trace.columnar as columnar_module
+        monkeypatch.setattr(columnar_module, "_SWAP", True)
         counter = {"runs": 0}
         spec = _counting_spec(counter)
         store = TraceStore(tmp_path)
