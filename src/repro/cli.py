@@ -2,16 +2,22 @@
 
 Subcommands::
 
-    repro run    [--quick] [--jobs N] [--only/--skip IDs] [--list] ...
-                 run the experiment suite (the registry-driven harness)
+    repro run    [--quick] [--jobs N] [--only/--skip IDs] [--list]
+                 [--retries N] [--task-timeout S] [--resume]
+                 [--faults PLAN] [--fault-seed N] ...
+                 run the experiment suite (the registry-driven
+                 harness, with retry/timeout/resume fault tolerance)
     repro sweep  [WORKLOAD] [--cache itlb|icache|both] [--sizes CSV]
                  [--assoc CSV] [--opt] [--full] [--warmup F] ...
                  single-pass cache sweep over a registered workload
     repro list   list registered workloads and experiments
-    repro trace  NAME [--set k=v ...] [--force] [--stats]
+    repro trace  [NAME] [--set k=v ...] [--force] [--stats]
+                 [--verify]
                  materialize one workload into the trace store;
                  --stats prints column-level statistics (no event
-                 objects are materialized)
+                 objects are materialized); --verify audits every
+                 stored payload's CRC32 integrity and quarantines
+                 the corrupt ones
     repro bench  [pytest args ...]
                  run the benchmark suite (pytest-benchmark)
 
@@ -86,10 +92,39 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    from repro.workloads.store import QUARANTINE_DIR, TraceStore
+
+    store = TraceStore(args.trace_dir)
+    report = store.verify()
+    print(f"trace store: {store.root}")
+    print(f"checked:     {report['checked']} payload(s)")
+    print(f"ok:          {report['ok']}")
+    if report["stale"]:
+        print(f"stale:       {len(report['stale'])} legacy-format "
+              f"file(s) (clean misses, left in place)")
+        for name in report["stale"]:
+            print(f"  - {name}")
+    if report["corrupt"]:
+        print(f"corrupt:     {len(report['corrupt'])} payload(s) "
+              f"moved to {store.root / QUARANTINE_DIR}")
+        for name, reason in report["corrupt"]:
+            print(f"  - {name}: {reason}")
+    else:
+        print("corrupt:     0")
+    return 1 if report["corrupt"] else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.workloads import get
     from repro.workloads.store import TraceStore
 
+    if args.verify:
+        return _cmd_trace_verify(args)
+    if not args.name:
+        print("error: a workload name is required unless --verify "
+              "is given", file=sys.stderr)
+        return 2
     spec = get(args.name)
     store = TraceStore(args.trace_dir)
     overrides = dict(args.set or [])
@@ -370,8 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=_cmd_list)
 
     trace_parser = commands.add_parser(
-        "trace", help="materialize one workload into the trace store")
-    trace_parser.add_argument("name", help="registered workload name")
+        "trace", help="materialize one workload into the trace "
+                      "store, or audit the store with --verify")
+    trace_parser.add_argument("name", nargs="?", default=None,
+                              help="registered workload name "
+                                   "(omit with --verify)")
+    trace_parser.add_argument("--verify", action="store_true",
+                              help="audit every stored payload's "
+                                   "integrity (length + per-block "
+                                   "CRC32); corrupt payloads are "
+                                   "quarantined and reported; exits "
+                                   "1 if any corruption was found")
     trace_parser.add_argument("--scale", type=int, default=None)
     trace_parser.add_argument("--quick", action="store_true")
     trace_parser.add_argument("--force", action="store_true",

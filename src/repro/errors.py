@@ -116,3 +116,101 @@ class MachineHalted(ReproError):
 
 class SimulationLimitExceeded(ReproError):
     """A watchdog instruction budget was exceeded (runaway program)."""
+
+
+# -- pipeline robustness taxonomy ------------------------------------
+#
+# Every failure the fault-tolerant experiment pipeline handles is
+# typed, so the harness can count, log and route each path (retry vs
+# quarantine vs degrade) instead of pattern-matching on messages.
+
+
+class PipelineError(ReproError):
+    """Base class for failures of the experiment pipeline itself
+    (store integrity, worker management, retry budgets) as opposed to
+    simulated-machine conditions."""
+
+
+class PayloadFormatError(PipelineError, ValueError):
+    """Bytes that are not a current trace-store payload at all.
+
+    Raised for a wrong magic, an unknown (e.g. legacy v1/v2) format
+    version, or a blob too short to carry a header.  The store treats
+    this as a *clean miss* -- the file belongs to an older layout or
+    another tool -- never as corruption.  Subclasses ``ValueError``
+    for callers that predate the taxonomy.
+    """
+
+
+class StoreCorruption(PipelineError):
+    """A recognized trace-store payload failed its integrity check.
+
+    The payload carried the current magic and version but its length
+    or a CRC32 block checksum does not match: the file was truncated
+    or bit-flipped after it was written.  The store quarantines such
+    files (they are evidence, not cache entries) instead of silently
+    regenerating over them.
+    """
+
+    def __init__(self, message: str, *, path=None):
+        super().__init__(message)
+        self.path = path
+
+    @property
+    def reason(self) -> str:
+        return str(self.args[0]) if self.args else "corrupt payload"
+
+
+class TaskTimeout(PipelineError):
+    """A pool task exceeded the per-task wall-clock budget.
+
+    The worker may be hung; the harness abandons the pool (hung
+    workers are terminated) and accounts the attempt against the
+    task's retry budget.
+    """
+
+    def __init__(self, message: str, *, task=None, timeout=None):
+        super().__init__(message)
+        self.task = task
+        self.timeout = timeout
+
+
+class WorkerCrash(PipelineError):
+    """A worker process died (or an injected crash fired serially).
+
+    In pool mode this surfaces as ``BrokenProcessPool``; the harness
+    re-submits unfinished tasks into a fresh pool.  In serial mode an
+    injected ``crash`` fault raises this directly so the retry path
+    stays testable without killing the parent process.
+    """
+
+
+class RetryExhausted(PipelineError):
+    """A task failed on every attempt its retry budget allowed.
+
+    Carries the last underlying error; the harness records a failure
+    result for the experiment and lets the rest of the suite finish.
+    """
+
+    def __init__(self, message: str, *, task=None, attempts=None,
+                 last_error=None):
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class FaultInjected(PipelineError):
+    """Base class for errors raised by the fault-injection framework
+    (:mod:`repro.faults`).  Real failures never subclass this, so
+    tests can assert that an observed error was (or was not) one the
+    chaos plan produced."""
+
+
+class InjectedIOError(FaultInjected, OSError):
+    """An injected IO failure; also an ``OSError`` so the injected
+    path exercises exactly the handlers real IO errors would."""
+
+
+class InjectedTaskError(FaultInjected):
+    """An injected transient task failure (the retryable kind)."""

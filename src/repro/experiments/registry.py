@@ -56,6 +56,12 @@ class RunContext:
     scale: int = 1
     quick: bool = False
     trace_dir: Optional[str] = None
+    #: Canonical JSON of the armed :class:`repro.faults.FaultPlan`,
+    #: or None.  Pool children normally inherit the plan through the
+    #: environment (``REPRO_FAULTS``); carrying it in the context too
+    #: keeps worker re-arming explicit and covers exotic spawn setups
+    #: that scrub the environment.
+    fault_plan: Optional[str] = None
     _store: Optional[TraceStore] = field(default=None, repr=False,
                                          compare=False)
 
@@ -80,7 +86,8 @@ class RunContext:
     def pool_args(self) -> dict:
         """Constructor kwargs for rebuilding this context in a worker."""
         return {"scale": self.scale, "quick": self.quick,
-                "trace_dir": self.trace_dir}
+                "trace_dir": self.trace_dir,
+                "fault_plan": self.fault_plan}
 
 
 @dataclass(frozen=True)

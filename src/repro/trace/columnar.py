@@ -28,9 +28,13 @@ Three types:
   without copying.
 * the **binary payload** (:meth:`Trace.to_bytes` /
   :meth:`Trace.from_bytes`) -- the trace store's on-disk format,
-  version 2.  The payload is the columns, verbatim: header, then the
-  three int columns little-endian, then the bitset.  Loading is four
-  bulk ``frombytes`` copies; no per-event work of any kind.
+  version 3.  The payload is the columns, verbatim: header, then the
+  three int columns little-endian and the bitset, each block followed
+  by a CRC32 trailer of its on-disk bytes.  Loading is four bulk
+  ``frombytes`` copies (plus four CRC checks); no per-event work of
+  any kind.  A recognized payload that fails a check raises
+  :class:`~repro.errors.StoreCorruption`; bytes in a legacy or
+  foreign layout raise :class:`~repro.errors.PayloadFormatError`.
 
 Pickling a :class:`Trace` round-trips through the same payload, so
 handing a trace to a worker process costs O(columns), not O(events).
@@ -39,10 +43,12 @@ handing a trace to a worker process costs O(columns), not O(events).
 from __future__ import annotations
 
 import sys
+import zlib
 from array import array
 from collections.abc import Sequence
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.errors import PayloadFormatError, StoreCorruption
 from repro.trace import events as _events
 
 #: 4-byte signed column words (every TraceEvent field fits); fall
@@ -56,10 +62,19 @@ _SWAP = sys.byteorder == "big"
 
 #: Binary payload version (participates in the trace store's cache
 #: key).  v1 was array-of-structs (4 interleaved words per event);
-#: v2 is columnar.
-FORMAT_VERSION = 2
+#: v2 is columnar; v3 is columnar with a CRC32 trailer after every
+#: column block (and the bitset), so silent on-disk corruption is
+#: *detected* -- a bad block raises
+#: :class:`~repro.errors.StoreCorruption` instead of decoding wrong
+#: events, while v1/v2 (and foreign) files stay clean misses via
+#: :class:`~repro.errors.PayloadFormatError`.
+FORMAT_VERSION = 3
 _MAGIC = b"RTRC"
 _HEADER = len(_MAGIC) + 1 + 4
+#: Per-block integrity trailer: CRC32 of the block's on-disk bytes,
+#: little-endian.  Computed over the stored (little-endian) layout,
+#: so it is host-byte-order independent like the payload itself.
+_CRC_BYTES = 4
 
 #: byte value -> the bit positions set in it, for bitset scans.
 _BITS_IN = tuple(tuple(j for j in range(8) if value >> j & 1)
@@ -253,17 +268,18 @@ class _ColumnarSequence(Sequence):
     # -- binary payload ----------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """The v2 store payload: header + three int columns + bitset."""
+        """The v3 store payload: header, then three int columns and
+        the bitset, each block followed by its CRC32 trailer."""
         start, stop = self._bounds()
         n = stop - start
-        columns = []
+        blocks = []
         for column in (self._addresses, self._opcodes, self._classes):
             if start or stop != len(column):
                 column = column[start:stop]
             if _SWAP:
                 column = column[:]  # don't mutate the live column
                 column.byteswap()
-            columns.append(column.tobytes())
+            blocks.append(column.tobytes())
         if start & 7 or not isinstance(self._bits, (bytes, bytearray)):
             bits = bytearray((n + 7) >> 3)
             for index in self.dispatched_indices():
@@ -276,8 +292,13 @@ class _ColumnarSequence(Sequence):
                 # recording after a snapshot): the payload of a trace
                 # depends only on its own events.
                 bits[-1] &= (1 << (n & 7)) - 1
+        blocks.append(bytes(bits))
         header = _MAGIC + bytes([FORMAT_VERSION]) + n.to_bytes(4, "little")
-        return header + b"".join(columns) + bits
+        parts = [header]
+        for block in blocks:
+            parts.append(block)
+            parts.append(zlib.crc32(block).to_bytes(_CRC_BYTES, "little"))
+        return b"".join(parts)
 
 
 class Trace(_ColumnarSequence):
@@ -334,25 +355,56 @@ class Trace(_ColumnarSequence):
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Trace":
-        """Decode a v2 store payload; four bulk copies, zero events."""
-        if len(blob) < _HEADER or blob[:4] != _MAGIC \
-                or blob[4] != FORMAT_VERSION:
-            raise ValueError("not a trace-store blob")
+        """Decode a v3 store payload; four bulk copies, zero events.
+
+        Raises :class:`~repro.errors.PayloadFormatError` for bytes
+        that are not a current-format payload (wrong magic, legacy
+        v1/v2 version byte, no room for a header) -- the store reads
+        those as clean misses -- and
+        :class:`~repro.errors.StoreCorruption` when a recognized v3
+        payload fails its length or CRC32 checks, which the store
+        routes to quarantine.
+        """
+        if len(blob) < 5 or blob[:4] != _MAGIC:
+            raise PayloadFormatError("not a trace-store payload")
+        if blob[4] != FORMAT_VERSION:
+            raise PayloadFormatError(
+                f"unsupported payload version {blob[4]} "
+                f"(current: {FORMAT_VERSION})")
+        if len(blob) < _HEADER:
+            raise StoreCorruption("payload truncated inside the header")
         count = int.from_bytes(blob[5:9], "little")
         word = array(_INT).itemsize
-        expected = _HEADER + 3 * count * word + ((count + 7) >> 3)
+        expected = _HEADER + 3 * (count * word + _CRC_BYTES) \
+            + ((count + 7) >> 3) + _CRC_BYTES
         if len(blob) != expected:
-            raise ValueError("truncated trace-store blob")
-        columns = []
+            raise StoreCorruption(
+                f"payload is {len(blob)} bytes but {expected} were "
+                f"expected for {count} events (truncated or "
+                f"overwritten)")
         offset = _HEADER
-        for _ in range(3):
+        blocks = []
+        for name, size in (("address", count * word),
+                           ("opcode", count * word),
+                           ("receiver-class", count * word),
+                           ("dispatched-bitset", (count + 7) >> 3)):
+            block = blob[offset:offset + size]
+            offset += size
+            stored = int.from_bytes(
+                blob[offset:offset + _CRC_BYTES], "little")
+            offset += _CRC_BYTES
+            if zlib.crc32(block) != stored:
+                raise StoreCorruption(
+                    f"{name} block failed its CRC32 check")
+            blocks.append(block)
+        columns = []
+        for block in blocks[:3]:
             column = array(_INT)
-            column.frombytes(blob[offset:offset + count * word])
+            column.frombytes(block)
             if _SWAP:
                 column.byteswap()
             columns.append(column)
-            offset += count * word
-        bits = bytearray(blob[offset:])
+        bits = bytearray(blocks[3])
         return cls(columns[0], columns[1], columns[2], bits)
 
     def __reduce__(self):

@@ -8,8 +8,9 @@ version)`` -- hashed into a content key -- and keeps it under
 ``.repro_traces/`` (override with ``REPRO_TRACE_DIR`` or the
 ``root`` argument) in the columnar binary format of
 :mod:`repro.trace.columnar`: the payload *is* the in-memory column
-set (three little-endian int columns plus the dispatched bitset), so
-a load is four bulk ``frombytes`` copies into a
+set (three little-endian int columns plus the dispatched bitset,
+each block carrying a CRC32 integrity trailer), so a load is four
+bulk ``frombytes`` copies into a
 :class:`~repro.trace.columnar.Trace` -- no per-event object is ever
 constructed on the load path.
 
@@ -25,8 +26,16 @@ Cache rules:
   ``os.replace``, so concurrent writers (the parallel harness's
   workers) can race harmlessly: last atomic rename wins and both
   contents are identical by construction.
-* **read** -- a corrupt or truncated file is treated as a miss and
-  regenerated.
+* **read** -- a file in a *legacy or foreign format* (wrong magic,
+  old payload version) is a clean miss and regenerated in place.  A
+  file in the *current* format that fails its integrity check (length
+  or a CRC32 block trailer; see payload v3 in
+  :mod:`repro.trace.columnar`) is **quarantined**: moved to
+  ``quarantine/`` under the store root with a ``.reason.json``
+  sidecar recording why, then regenerated.  Corruption is evidence of
+  a disk/transfer problem -- it is preserved for inspection, never
+  silently destroyed.  ``TraceStore.verify()`` (CLI: ``repro trace
+  --verify``) audits every payload in the store the same way.
 
 A JSON sidecar (same stem, ``.json``) records the human-readable
 identity of each entry for ``python -m repro list``/``trace``.  The
@@ -42,11 +51,17 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import faults
+from repro.errors import PayloadFormatError, StoreCorruption
 from repro.trace.columnar import FORMAT_VERSION, Trace, as_trace
 from repro.workloads.spec import WorkloadSpec, get as get_spec
+
+#: Subdirectory (under the store root) corrupt payloads are moved to.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_root() -> Path:
@@ -68,6 +83,7 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.generated = 0
+        self.quarantined = 0
         self._memo: Dict[str, Trace] = {}
 
     # -- keying ---------------------------------------------------------
@@ -143,16 +159,92 @@ class TraceStore:
         return Trace.from_bytes(blob)
 
     def _read(self, path: Path) -> Optional[Trace]:
+        """Decode one stored payload, or None for a miss.
+
+        Only *payload-decode* failures are misses: an unreadable file
+        or a legacy/foreign format (``PayloadFormatError``).  A
+        current-format payload that fails its integrity check is
+        quarantined (still a miss, but preserved and counted), and
+        any other exception -- a genuine programming error -- is NOT
+        swallowed: it propagates.
+        """
         try:
-            return self.deserialize(path.read_bytes())
-        except (OSError, ValueError):
+            blob = path.read_bytes()
+            blob = faults.inject("store.read", key=path.name,
+                                 payload=blob)
+        except OSError:
             return None
+        try:
+            return self.deserialize(blob)
+        except PayloadFormatError:
+            return None  # legacy layout or foreign file: a clean miss
+        except StoreCorruption as error:
+            self.quarantine(path, error.reason)
+            return None
+
+    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a corrupt payload (and sidecar) into ``quarantine/``.
+
+        Writes a ``<name>.reason.json`` sidecar recording why.  Best
+        effort: quarantining is bookkeeping around a miss and must
+        never fail the load; returns the destination or None.
+        """
+        destination = None
+        try:
+            qdir = self.root / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            destination = qdir / path.name
+            os.replace(path, destination)
+        except OSError:
+            return None
+        self.quarantined += 1
+        sidecar = path.with_suffix(".json")
+        try:
+            os.replace(sidecar, qdir / sidecar.name)
+        except OSError:
+            pass  # the sidecar is regenerable metadata anyway
+        try:
+            (qdir / f"{path.name}.reason.json").write_text(json.dumps(
+                {"file": path.name, "reason": reason,
+                 "quarantined_at": time.strftime(
+                     "%Y-%m-%dT%H:%M:%S%z")},
+                indent=2, sort_keys=True) + "\n")
+        except OSError:
+            pass
+        return destination
+
+    def verify(self) -> dict:
+        """Audit every payload in the store; quarantine the corrupt.
+
+        Returns ``{"checked", "ok", "stale", "corrupt"}`` where
+        ``stale`` lists legacy-format files (harmless misses, left in
+        place) and ``corrupt`` lists ``(name, reason)`` pairs for
+        current-format payloads that failed integrity and were moved
+        to quarantine.
+        """
+        report = {"checked": 0, "ok": 0, "stale": [], "corrupt": []}
+        for path in sorted(self.root.glob("*.trace")):
+            report["checked"] += 1
+            try:
+                self.deserialize(path.read_bytes())
+            except PayloadFormatError:
+                report["stale"].append(path.name)
+            except StoreCorruption as error:
+                self.quarantine(path, error.reason)
+                report["corrupt"].append((path.name, error.reason))
+            except OSError as error:
+                report["corrupt"].append((path.name, str(error)))
+            else:
+                report["ok"] += 1
+        return report
 
     def _write(self, path: Path, spec: WorkloadSpec,
                params: Mapping[str, object], events: Trace) -> None:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             blob = self.serialize(events)
+            blob = faults.inject("store.write", key=path.name,
+                                 payload=blob)
             fd, tmp = tempfile.mkstemp(dir=str(self.root),
                                        prefix=path.stem, suffix=".tmp")
             try:

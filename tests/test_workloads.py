@@ -244,16 +244,30 @@ class TestByteSwap:
         # Header (magic, format byte, little-endian count) is
         # byte-order independent ...
         assert native[:9] == swapped[:9]
-        # ... every int-column word (three columns of 4-byte words
-        # follow the header) is the 4-byte reversal of its native
-        # counterpart ...
+        # ... every int-column word (three columns of 4-byte words,
+        # each block followed by its CRC32 trailer) is the 4-byte
+        # reversal of its native counterpart ...
         assert native != swapped
-        columns_end = 9 + 3 * 4 * len(self.EVENTS)
-        for offset in range(9, columns_end, 4):
-            assert swapped[offset:offset + 4] == \
-                native[offset:offset + 4][::-1]
-        # ... and the trailing dispatched bitset is untouched.
-        assert native[columns_end:] == swapped[columns_end:]
+        n = len(self.EVENTS)
+        block = 4 * n + 4  # column data + CRC32 trailer
+        for column in range(3):
+            base = 9 + column * block
+            for offset in range(base, base + 4 * n, 4):
+                assert swapped[offset:offset + 4] == \
+                    native[offset:offset + 4][::-1]
+            # The CRC32 trailer covers the block's *on-disk* bytes,
+            # so it tracks the swap: each writer's trailer matches
+            # its own layout, and the two differ.
+            assert native[base + 4 * n:base + block] != \
+                swapped[base + 4 * n:base + block]
+            import zlib
+            assert swapped[base + 4 * n:base + block] == \
+                zlib.crc32(swapped[base:base + 4 * n]).to_bytes(
+                    4, "little")
+        # ... and the trailing dispatched bitset (plus its CRC) is
+        # untouched.
+        bits_at = 9 + 3 * block
+        assert native[bits_at:] == swapped[bits_at:]
 
     def test_cross_order_read_is_detected_or_differs(self, monkeypatch):
         # A blob written under one byte order and read under the other
