@@ -10,7 +10,9 @@ Subcommands::
     repro sweep  [WORKLOAD] [--cache itlb|icache|both] [--sizes CSV]
                  [--assoc CSV] [--opt] [--full] [--warmup F] ...
                  single-pass cache sweep over a registered workload
-    repro list   list registered workloads and experiments
+    repro list   [--workloads] [--experiments] [--engines]
+                 list registered workloads, experiments and the
+                 available sweep execution backends
     repro trace  [NAME] [--set k=v ...] [--force] [--stats]
                  [--verify]
                  materialize one workload into the trace store;
@@ -59,13 +61,35 @@ def _format_params(params) -> str:
     return ", ".join(f"{key}={params[key]}" for key in sorted(params))
 
 
+def _print_engines() -> None:
+    from repro.sweep import np_engine
+
+    print("sweep engines:")
+    print("  single-pass  pure-python stack-distance engine "
+          "(always available)")
+    print("  grid         per-configuration simulation "
+          "(always available; any policy/geometry)")
+    if np_engine.numpy_available():
+        import numpy
+        print(f"  numpy        vectorized stack-distance backend "
+              f"(available, numpy {numpy.__version__})")
+    else:
+        print("  numpy        UNAVAILABLE (numpy not importable; "
+              "pip install .[numpy])")
+    print("  auto         numpy when available and eligible, else "
+          "single-pass, else grid")
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import harness
     from repro.workloads import specs
     from repro.workloads.store import TraceStore
 
-    show_workloads = args.workloads or not args.experiments
-    show_experiments = args.experiments or not args.workloads
+    only_flags = (args.workloads, args.experiments, args.engines)
+    show_all = not any(only_flags)
+    show_workloads = args.workloads or show_all
+    show_experiments = args.experiments or show_all
+    show_engines = args.engines or show_all
     if show_workloads:
         store = TraceStore(args.trace_dir)
         cached = store.cached_names()
@@ -89,6 +113,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     if show_experiments:
         print("experiments (claim registry):")
         harness.list_experiments()
+    if show_engines:
+        if show_workloads or show_experiments:
+            print()
+        _print_engines()
     return 0
 
 
@@ -380,8 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="add the OPT/Belady reference "
                                    "column (two-pass)")
     sweep_parser.add_argument("--engine", default="auto",
-                              choices=("auto", "single-pass", "grid"),
-                              help="force the execution engine")
+                              choices=("auto", "single-pass", "numpy",
+                                       "grid"),
+                              help="force the execution engine "
+                                   "('numpy' requires the optional "
+                                   "numpy extra; 'auto' uses it when "
+                                   "importable and falls back to the "
+                                   "pure-python single-pass engine)")
     sweep_parser.add_argument("--plot", action="store_true",
                               help="also render the ASCII figure")
     sweep_parser.add_argument("--quick", action="store_true",
@@ -396,11 +429,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     list_parser = commands.add_parser(
-        "list", help="list registered workloads and experiments")
+        "list", help="list registered workloads, experiments and "
+                     "sweep engine backends")
     list_parser.add_argument("--workloads", action="store_true",
                              help="only the workload registry")
     list_parser.add_argument("--experiments", action="store_true",
                              help="only the experiment registry")
+    list_parser.add_argument("--engines", action="store_true",
+                             help="only the sweep execution backends "
+                                  "(reports whether numpy was "
+                                  "importable, so logs show which "
+                                  "path actually ran)")
     list_parser.add_argument("--trace-dir", type=str, default=None)
     list_parser.set_defaults(func=_cmd_list)
 

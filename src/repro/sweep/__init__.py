@@ -8,6 +8,9 @@ the whole hit-ratio surface -- as a subsystem:
 * :mod:`repro.sweep.engine` -- the Mattson-style stack-distance
   engine: every LRU (size, associativity) point from one trace
   replay, plus the OPT/Belady reference stack;
+* :mod:`repro.sweep.np_engine` -- the vectorized numpy twin of the
+  stack-distance engine (optional extra, bitwise-identical, an order
+  of magnitude faster on the paper trace);
 * :mod:`repro.sweep.runner` -- engine selection (single-pass when
   eligible, per-configuration grid otherwise) and the warm-up window
   drivers, bitwise-equivalent to the ``simulate_*`` functions;
@@ -32,6 +35,7 @@ or, for the paper's figure pair in one declared object::
 """
 
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
+from repro.sweep.np_engine import NumpyMultiConfigLRU, numpy_available
 from repro.sweep.runner import run_hierarchy, run_semantics_delta, run_sweep
 from repro.sweep.spec import (
     DEFAULT_SEMANTICS,
@@ -48,6 +52,7 @@ __all__ = [
     "DEFAULT_SEMANTICS",
     "HierarchySpec",
     "MultiConfigLRU",
+    "NumpyMultiConfigLRU",
     "OptStack",
     "PAPER_ASSOCIATIVITIES",
     "PAPER_SIZES",
@@ -55,6 +60,7 @@ __all__ = [
     "SEMANTICS",
     "SweepSpec",
     "next_use_times",
+    "numpy_available",
     "paper_hierarchy",
     "run_hierarchy",
     "run_semantics_delta",

@@ -34,7 +34,9 @@ Two structures implement that here:
   second pass.
 
 Both structures count into histograms of (capped) stack depth;
-``hits(...)`` answers are prefix sums.  Misses -- compulsory ones
+``hits(...)`` answers are prefix sums, computed once per histogram
+and cached until the next counted update (surface extraction reads
+hundreds of grid cells from the same histograms).  Misses -- compulsory ones
 included, in the LRU levels -- land in the overflow bucket beyond
 every swept way count, and a counter ``total`` tracks measured
 references so per-configuration misses fall out by subtraction.
@@ -45,6 +47,7 @@ does to a live cache.
 
 from __future__ import annotations
 
+from itertools import accumulate
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 #: "Never referenced again" sentinel for OPT priorities; compares
@@ -84,6 +87,9 @@ class MultiConfigLRU:
             self._full_hist = [0] * (full_cap + 1)
             self._full = ([], full_cap, self._full_hist)
         self.total = 0
+        # Cached hit prefix sums, dropped whenever a histogram counts.
+        self._cum_by_k: Optional[Dict[int, List[int]]] = None
+        self._full_cum: Optional[List[int]] = None
 
     # -- replay -----------------------------------------------------------
 
@@ -161,11 +167,55 @@ class MultiConfigLRU:
             n += 1
         if count:
             self.total += n
+            self._cum_by_k = None
+            self._full_cum = None
 
     def touch(self, block: Hashable, placement: int,
               count: bool = True) -> None:
-        """Reference one block (incremental alternative to replay)."""
-        self.replay(((block, placement),), count)
+        """Reference one block (incremental alternative to replay).
+
+        The same per-level update the replay loop performs, without
+        materializing single-element reference columns per call.
+        """
+        for mask, cap, sets, hist in self._levels:
+            bucket = placement & mask
+            lst = sets.get(bucket)
+            if lst is None:
+                sets[bucket] = [block]
+                if count:
+                    hist[cap] += 1
+            elif block in lst:
+                depth = lst.index(block)
+                if depth:
+                    del lst[depth]
+                    lst.insert(0, block)
+                if count:
+                    hist[depth] += 1
+            else:
+                lst.insert(0, block)
+                if len(lst) > cap:
+                    del lst[cap]
+                if count:
+                    hist[cap] += 1
+        if self._full is not None:
+            stack, fcap, fhist = self._full
+            try:
+                depth = stack.index(block)
+            except ValueError:
+                depth = fcap
+                stack.insert(0, block)
+                if len(stack) > fcap:
+                    del stack[fcap]
+            else:
+                if depth:
+                    del stack[depth]
+                    stack.insert(0, block)
+            if count:
+                fhist[depth] += 1
+        if count:
+            self.total += 1
+            self._cum_by_k = None
+            self._full_cum = None
 
     def reset_counts(self) -> None:
         """Zero every histogram and the access counter; keep stacks."""
@@ -174,18 +224,52 @@ class MultiConfigLRU:
         if self._full_hist:
             self._full_hist[:] = [0] * len(self._full_hist)
         self.total = 0
+        self._cum_by_k = None
+        self._full_cum = None
 
     # -- results ----------------------------------------------------------
 
     def hits(self, k: int, assoc: int) -> int:
         """Measured hits of the (2^k sets, assoc ways) configuration."""
-        return sum(self._hist_by_k[k][:assoc])
+        cum = self._cum_by_k
+        if cum is None:
+            cum = self._cum_by_k = {
+                key: list(accumulate(hist, initial=0))
+                for key, hist in self._hist_by_k.items()}
+        prefix = cum[k]
+        return prefix[min(assoc, len(prefix) - 1)]
 
     def full_hits(self, entries: int) -> int:
         """Measured hits of a one-set LRU cache with that many entries."""
         if self._full is None:
             raise ValueError("single-set level was not enabled")
-        return sum(self._full_hist[:entries])
+        cum = self._full_cum
+        if cum is None:
+            cum = self._full_cum = list(
+                accumulate(self._full_hist, initial=0))
+        return cum[min(entries, len(cum) - 1)]
+
+    # -- introspection (tests, benchmarks) --------------------------------
+
+    def histograms(self) -> Dict[int, List[int]]:
+        """Per-level depth histograms, ``log2(num_sets) -> counts``."""
+        return {k: list(hist) for k, hist in self._hist_by_k.items()}
+
+    def stack_state(self):
+        """Current per-set recency stacks (per level, plus single-set).
+
+        A copy, safe to mutate; the numpy backend exposes the same
+        shape so equivalence tests can pin post-replay state, not just
+        counts.
+        """
+        levels = {}
+        for k, (mask, cap, sets, hist) in zip(sorted(self._hist_by_k),
+                                              self._levels):
+            levels[k] = {bucket: list(lst) for bucket, lst in sets.items()}
+        state = {"levels": levels, "full": None}
+        if self._full is not None:
+            state["full"] = list(self._full[0])
+        return state
 
 
 def next_use_times(blocks: Sequence[Hashable]) -> List[float]:
@@ -229,6 +313,7 @@ class OptStack:
         self._prio: List[float] = []
         self.hist = [0] * (cap + 1)
         self.total = 0
+        self._cum: Optional[List[int]] = None
 
     def touch(self, block: Hashable, next_use: float,
               count: bool = True) -> None:
@@ -271,11 +356,16 @@ class OptStack:
             if depth < size:
                 cap = self.cap
                 self.hist[depth if depth < cap else cap] += 1
+                self._cum = None
 
     def reset_counts(self) -> None:
         self.hist[:] = [0] * len(self.hist)
         self.total = 0
+        self._cum = None
 
     def hits(self, capacity: int) -> int:
         """Measured hits of an OPT-managed cache of that capacity."""
-        return sum(self.hist[:capacity])
+        cum = self._cum
+        if cum is None:
+            cum = self._cum = list(accumulate(self.hist, initial=0))
+        return cum[min(capacity, len(cum) - 1)]

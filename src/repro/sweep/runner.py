@@ -2,6 +2,13 @@
 
 ``run_sweep`` picks the execution engine per spec:
 
+* **numpy** (:class:`~repro.sweep.np_engine.NumpyMultiConfigLRU`) --
+  the vectorized single-pass formulation.  ``engine="auto"`` uses it
+  whenever the spec is single-pass eligible *and* numpy is importable
+  (numpy is an optional extra, never a hard dependency);
+  ``engine="numpy"`` requires it, raising the typed
+  :class:`~repro.errors.BackendUnavailable` when the import is
+  missing.  Bitwise-identical to the pure-python engine.
 * **single-pass** (:class:`~repro.sweep.engine.MultiConfigLRU`) when
   the spec is LRU with power-of-two set counts -- one simulation
   replay of the trace (two under the paper's double-pass warm-up)
@@ -37,6 +44,7 @@ from array import array
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.caches.setassoc import stable_hash
+from repro.sweep import np_engine
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
 from repro.sweep.spec import HierarchySpec, SweepSpec
 from repro.sweep.surface import Cell, ResultSurface
@@ -126,15 +134,20 @@ def _geometry(spec: SweepSpec) -> Tuple[Dict[int, int], int]:
     return level_caps, full_cap
 
 
-def _run_single_pass(spec: SweepSpec,
-                     events: Sequence) -> ResultSurface:
+def _run_single_pass(spec: SweepSpec, events: Sequence,
+                     use_numpy: bool = False) -> ResultSurface:
     trace = as_trace(events)
     blocks, placements = (_itlb_ref_columns(trace, spec.dispatched_only)
                           if spec.cache == "itlb"
                           else _icache_ref_columns(trace, spec.line_words))
     n_refs = len(blocks)
     level_caps, full_cap = _geometry(spec)
-    engine = MultiConfigLRU(level_caps, full_cap)
+    if use_numpy:
+        engine = np_engine.NumpyMultiConfigLRU(level_caps, full_cap)
+        next_use_fn = np_engine.np_next_use_times
+    else:
+        engine = MultiConfigLRU(level_caps, full_cap)
+        next_use_fn = next_use_times
     opt = OptStack(max(spec.entries(s) for s in spec.sizes)) \
         if spec.include_opt else None
 
@@ -147,7 +160,7 @@ def _run_single_pass(spec: SweepSpec,
         if opt is not None:
             doubled = list(blocks)
             doubled += doubled
-            next_use = next_use_times(doubled)
+            next_use = next_use_fn(doubled)
             for i in range(n_refs):
                 opt.touch(blocks[i], next_use[i], count=False)
             for i in range(n_refs):
@@ -168,7 +181,7 @@ def _run_single_pass(spec: SweepSpec,
                                   start=reset_at, count=True)
         passes += 1
         if opt is not None:
-            next_use = next_use_times(blocks)
+            next_use = next_use_fn(blocks)
             aux += 1
             for index in range(n_refs):
                 opt.touch(blocks[index], next_use[index],
@@ -200,7 +213,7 @@ def _run_single_pass(spec: SweepSpec,
                              opt.total - opt.hits(spec.entries(size)))
                       for size in spec.sizes}
     return ResultSurface(spec, counts, opt_counts, {
-        "engine": "single-pass",
+        "engine": "numpy" if use_numpy else "single-pass",
         "semantics": spec.semantics,
         "trace_passes": passes,
         "aux_passes": aux,
@@ -286,12 +299,25 @@ def run_sweep(spec: SweepSpec,
     if spec.engine == "grid":
         return _run_grid(spec, events)
     eligible = spec.single_pass_eligible()
+    if spec.engine == "numpy":
+        np_engine.require_numpy()
+        if not eligible:
+            raise ValueError(
+                f"spec is not single-pass eligible, so the numpy "
+                f"backend cannot run it (policy={spec.policy!r}; set "
+                f"counts must be powers of two): {spec}")
+        return _run_single_pass(spec, events, use_numpy=True)
     if spec.engine == "single-pass" and not eligible:
         raise ValueError(
             f"spec is not single-pass eligible (policy={spec.policy!r}; "
             f"set counts must be powers of two): {spec}")
     if eligible:
-        return _run_single_pass(spec, events)
+        # "auto": the vectorized backend when the optional numpy extra
+        # is importable, the pure-python engine otherwise -- both are
+        # bitwise-identical, so the fallback is silent by design.
+        use_numpy = (spec.engine == "auto"
+                     and np_engine.numpy_available())
+        return _run_single_pass(spec, events, use_numpy=use_numpy)
     return _run_grid(spec, events)
 
 

@@ -33,7 +33,7 @@ from repro.trace.semantics import (
 
 CACHE_KINDS = ("itlb", "icache")
 
-ENGINES = ("auto", "single-pass", "grid")
+ENGINES = ("auto", "single-pass", "numpy", "grid")
 
 #: Default display labels, matching the labels the figure tables have
 #: always used (pinned by the figure-output parity tests).
@@ -52,9 +52,12 @@ class SweepSpec:
     :class:`~repro.caches.setassoc.SetAssociativeCache` enforces).
     ``engine`` selects execution: ``"auto"`` uses the single-pass
     stack-distance engine whenever the spec is eligible (LRU,
-    power-of-two set counts), ``"single-pass"`` requires it (raising
-    if ineligible), ``"grid"`` forces one simulation per
-    configuration.  ``semantics`` selects the measurement-semantics
+    power-of-two set counts) -- vectorized by the optional numpy
+    backend when numpy is importable, pure python otherwise;
+    ``"single-pass"`` requires the pure-python engine (raising if
+    ineligible), ``"numpy"`` requires the vectorized backend (raising
+    :class:`~repro.errors.BackendUnavailable` when numpy is absent),
+    ``"grid"`` forces one simulation per configuration.  ``semantics`` selects the measurement-semantics
     version (:mod:`repro.trace.semantics`): ``"paper"`` keeps the
     historical warm-up quirks bit-for-bit, ``"v2"`` fixes them.
     """

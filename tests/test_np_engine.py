@@ -1,0 +1,289 @@
+"""Equivalence and fallback tests for the vectorized numpy backend.
+
+The load-bearing guarantee mirrors test_sweep.py's: the numpy replay
+backend must be *bitwise-equal* to the pure-python stack-distance
+engine -- histograms, ``total``, hit prefix sums AND post-replay stack
+state -- across random column pairs (varying alphabet sizes, set
+counts, depth caps, warm-up fractions, count=False segments, resets,
+sub-ranges) and across the full paper grid under both
+measurement-semantics versions.  CI runs the pins by name
+(``-k "equivalence and paper"`` / ``-k "equivalence and v2"``) on the
+numpy matrix leg; the numpy-free leg keeps the fallback honest (the
+numpy-requiring tests skip themselves, the ``sys.modules``-block
+tests run everywhere).
+"""
+
+import importlib
+import random
+import sys
+
+import pytest
+
+from repro.errors import BackendUnavailable
+from repro.sweep import SweepSpec, np_engine, run_sweep
+from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
+from repro.trace.events import TraceEvent
+
+requires_numpy = pytest.mark.skipif(
+    not np_engine.numpy_available(),
+    reason="numpy is not installed (pure-python fallback leg)")
+
+
+def _mixed_trace(n=2500, seed=7):
+    """Phased locality + random stragglers + a non-dispatched mix."""
+    rnd = random.Random(seed)
+    events = []
+    for i in range(n):
+        if rnd.random() < 0.3:
+            address = rnd.randrange(600)
+        else:
+            address = (i * 7) % 97 + (i // 500) * 64
+        events.append(TraceEvent(address, rnd.randrange(60),
+                                 rnd.randrange(5),
+                                 dispatched=rnd.random() < 0.7))
+    return events
+
+
+@pytest.fixture(scope="module")
+def events():
+    return _mixed_trace()
+
+
+def _random_case(seed):
+    """One random (columns, geometry, replay plan) torture case.
+
+    Plans mix counted and warm (count=False) sub-range segments with
+    occasional mid-stream ``reset_counts`` -- every segmented-replay
+    shape the runner can produce, plus ones it cannot yet.
+    """
+    rng = random.Random(987_000 + seed)
+    nblocks = rng.choice([1, 2, 3, 5, 9, 17, 40, 200])
+    n = rng.randrange(1, 150)
+    blocks = [rng.randrange(nblocks) for _ in range(n)]
+    pmap = {block: rng.getrandbits(16) for block in range(nblocks)}
+    placements = [pmap[block] for block in blocks]
+    ks = rng.sample([1, 2, 3, 4], rng.randrange(1, 4))
+    level_caps = {k: rng.choice([1, 2, 3, 4, 5, 6, 8]) for k in ks}
+    full_cap = rng.choice([0, 1, 3, 8])
+    plan = []
+    pos = 0
+    while pos < n:
+        nxt = rng.randrange(pos, n) + 1
+        plan.append((pos, nxt, rng.random() < 0.7))
+        if rng.random() < 0.2:
+            plan.append("reset")
+        pos = nxt
+    return blocks, placements, level_caps, full_cap, plan
+
+
+def _run_plan(engine, blocks, placements, plan):
+    for step in plan:
+        if step == "reset":
+            engine.reset_counts()
+        else:
+            start, stop, count = step
+            engine.replay_columns(blocks, placements, start, stop, count)
+
+
+def _assert_engines_equal(pure, fast, level_caps, full_cap):
+    assert fast.histograms() == pure.histograms()
+    assert fast.total == pure.total
+    assert fast.stack_state() == pure.stack_state()
+    for k, cap in level_caps.items():
+        for assoc in range(1, cap + 1):
+            assert fast.hits(k, assoc) == pure.hits(k, assoc)
+    if full_cap:
+        assert fast._full_hist == pure._full_hist
+        for entries in range(1, full_cap + 1):
+            assert fast.full_hits(entries) == pure.full_hits(entries)
+
+
+@requires_numpy
+class TestRandomizedEquivalence:
+    """Seeded random column pairs pinned numpy == python bitwise."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_plan_equivalence(self, seed):
+        blocks, placements, level_caps, full_cap, plan = _random_case(seed)
+        pure = MultiConfigLRU(dict(level_caps), full_cap)
+        fast = np_engine.NumpyMultiConfigLRU(dict(level_caps), full_cap)
+        _run_plan(pure, blocks, placements, plan)
+        _run_plan(fast, blocks, placements, plan)
+        _assert_engines_equal(pure, fast, level_caps, full_cap)
+
+    def test_cycle_pattern_equivalence(self):
+        # 3/4-symbol cycles are the chain resolver's worst case: every
+        # reference is a deep re-reference and runs stay length one.
+        rng = random.Random(1985)
+        blocks = []
+        for _ in range(60):
+            blocks.extend(range(4))
+            if rng.random() < 0.3:
+                blocks.append(4 + rng.randrange(3))
+        pmap = {block: rng.getrandbits(16) for block in range(7)}
+        placements = [pmap[block] for block in blocks]
+        level_caps = {1: 4, 2: 5}
+        pure = MultiConfigLRU(dict(level_caps))
+        fast = np_engine.NumpyMultiConfigLRU(dict(level_caps))
+        pure.replay_columns(blocks, placements)
+        fast.replay_columns(blocks, placements)
+        _assert_engines_equal(pure, fast, level_caps, 0)
+
+    def test_touch_equivalence(self):
+        # One-reference segments through the carry machinery, against
+        # both the pure touch and the pure bulk replay.
+        rng = random.Random(44)
+        pmap = {block: rng.getrandbits(16) for block in range(30)}
+        refs = [(block, pmap[block])
+                for block in (rng.randrange(30) for _ in range(400))]
+        bulk = MultiConfigLRU({1: 2, 3: 4}, full_cap=8)
+        pure = MultiConfigLRU({1: 2, 3: 4}, full_cap=8)
+        fast = np_engine.NumpyMultiConfigLRU({1: 2, 3: 4}, full_cap=8)
+        bulk.replay(refs)
+        for i, (block, placement) in enumerate(refs):
+            count = i % 5 != 0
+            pure.touch(block, placement, count=count)
+            fast.touch(block, placement, count=count)
+        _assert_engines_equal(pure, fast, {1: 2, 3: 4}, 8)
+        assert bulk.stack_state() == pure.stack_state()
+
+    def test_next_use_times_equivalence(self):
+        rng = random.Random(5)
+        blocks = [rng.randrange(40) for _ in range(500)]
+        assert np_engine.np_next_use_times(blocks) == \
+            [float(t) for t in next_use_times(blocks)]
+        assert np_engine.np_next_use_times([]) == []
+
+
+@requires_numpy
+class TestSweepEquivalence:
+    """run_sweep(engine="numpy") == run_sweep(engine="single-pass"),
+    full paper grid, every warm-up window, both semantics."""
+
+    WINDOWS = [
+        {"double_pass": True},
+        {"warmup_fraction": 0.25},
+        {"warmup_fraction": 0.0},
+        {"warmup_fraction": 0.9},
+    ]
+
+    @pytest.mark.parametrize("semantics", ["paper", "v2"])
+    @pytest.mark.parametrize("window", WINDOWS,
+                             ids=[str(w) for w in WINDOWS])
+    @pytest.mark.parametrize("cache", ["itlb", "icache"])
+    def test_numpy_single_pass_equivalence(self, cache, window,
+                                           semantics, events):
+        common = dict(cache=cache, include_full=True, include_opt=True,
+                      semantics=semantics, **window)
+        pure = run_sweep(SweepSpec(engine="single-pass", **common),
+                         events)
+        fast = run_sweep(SweepSpec(engine="numpy", **common), events)
+        assert fast.counts == pure.counts
+        assert fast.opt_counts == pure.opt_counts
+        assert fast.meta["engine"] == "numpy"
+        assert pure.meta["engine"] == "single-pass"
+        assert fast.meta["trace_passes"] == pure.meta["trace_passes"]
+        assert fast.meta["measured"] == pure.meta["measured"]
+
+    def test_auto_uses_numpy_when_available(self, events):
+        surface = run_sweep(SweepSpec("itlb", double_pass=True), events)
+        assert surface.meta["engine"] == "numpy"
+
+    def test_numpy_engine_requires_eligibility(self, events):
+        with pytest.raises(ValueError, match="eligible"):
+            run_sweep(SweepSpec("itlb", policy="fifo", engine="numpy"),
+                      events)
+
+
+@requires_numpy
+class TestPlacementPurityGuard:
+    """The carry-prefix reconstruction assumes placement is a function
+    of block; violations must raise, never silently diverge."""
+
+    def test_in_segment_violation_raises(self):
+        fast = np_engine.NumpyMultiConfigLRU({1: 2})
+        with pytest.raises(ValueError, match="pure function"):
+            fast.replay_columns([5, 5], [10, 11])
+
+    def test_cross_segment_violation_raises(self):
+        fast = np_engine.NumpyMultiConfigLRU({1: 2})
+        fast.touch(5, 10)
+        with pytest.raises(ValueError, match="pure function"):
+            fast.touch(5, 11)
+
+
+class TestHitPrefixCaching:
+    """hits()/full_hits()/OptStack.hits() answers stay correct across
+    counted updates and resets (the cached prefix sums invalidate)."""
+
+    def test_multi_config_cache_invalidation(self):
+        engine = MultiConfigLRU({2: 3}, full_cap=4)
+        stream = [(i % 7, i % 7) for i in range(60)]
+        engine.replay(stream)
+        assert engine.hits(2, 2) == sum(engine.histograms()[2][:2])
+        first = engine.hits(2, 2)
+        assert engine.hits(2, 2) == first          # cached path
+        engine.replay(stream)                      # invalidates
+        assert engine.hits(2, 2) == sum(engine.histograms()[2][:2])
+        assert engine.full_hits(3) == sum(engine._full_hist[:3])
+        engine.touch(3, 3)                         # invalidates too
+        assert engine.hits(2, 2) == sum(engine.histograms()[2][:2])
+        engine.reset_counts()
+        assert engine.hits(2, 3) == 0
+        assert engine.full_hits(4) == 0
+
+    def test_opt_stack_cache_invalidation(self):
+        blocks = [i % 5 for i in range(40)]
+        next_use = next_use_times(blocks)
+        opt = OptStack(4)
+        for block, nxt in zip(blocks[:20], next_use[:20]):
+            opt.touch(block, nxt)
+        assert opt.hits(3) == sum(opt.hist[:3])
+        for block, nxt in zip(blocks[20:], next_use[20:]):
+            opt.touch(block, nxt)
+        assert opt.hits(3) == sum(opt.hist[:3])
+        opt.reset_counts()
+        assert opt.hits(4) == 0
+
+
+class TestNumpyAbsent:
+    """engine="auto" must fall back cleanly and engine="numpy" must
+    raise the typed, actionable error when numpy cannot be imported.
+    These run on every CI leg: the block simulates absence even where
+    numpy is installed."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        importlib.reload(np_engine)
+        assert not np_engine.numpy_available()
+        yield
+        monkeypatch.undo()
+        importlib.reload(np_engine)
+
+    def test_auto_falls_back_to_pure_python(self, no_numpy, events):
+        surface = run_sweep(
+            SweepSpec("itlb", sizes=(8, 64), associativities=(1, 2),
+                      double_pass=True), events)
+        assert surface.meta["engine"] == "single-pass"
+
+    def test_forced_numpy_raises_typed_actionable_error(self, no_numpy,
+                                                        events):
+        with pytest.raises(BackendUnavailable,
+                           match=r"pip install .*numpy"):
+            run_sweep(SweepSpec("itlb", engine="numpy"), events)
+
+    def test_engine_construction_raises_too(self, no_numpy):
+        with pytest.raises(BackendUnavailable):
+            np_engine.NumpyMultiConfigLRU({1: 2})
+
+    def test_reload_restores_availability(self):
+        # The fixture teardown reloaded the real module: whatever the
+        # environment has is reported again (and the sweep API still
+        # works on the pure path regardless).
+        try:
+            import numpy  # noqa: F401
+            importable = True
+        except ImportError:
+            importable = False
+        assert np_engine.numpy_available() == importable
