@@ -20,14 +20,44 @@ byte-identical -- so bench-only commits stop churning the whole file.
 
 import json
 import os
-import platform
 from pathlib import Path
 
 import pytest
 
+from repro import telemetry
 from repro.workloads import load_events
 
 _WALLCLOCK = {}
+
+#: A fresh throughput below this fraction of the committed number is
+#: flagged as a regression (warning only -- hosts differ; the guard
+#: exists to make a 10x cliff visible, not to gate CI on noise).
+REGRESSION_FRACTION = 0.7
+
+
+def find_regressions(existing: dict, payload: dict) -> list:
+    """(name, field, committed, fresh) for every >30% throughput drop.
+
+    Compares every ``*per_second`` field of the fresh *payload*
+    against the committed record of the same benchmark.
+    """
+    out = []
+    for name, record in payload.items():
+        if name.startswith("_") or not isinstance(record, dict):
+            continue
+        committed = existing.get(name)
+        if not isinstance(committed, dict):
+            continue
+        for field, fresh in record.items():
+            if not field.endswith("per_second"):
+                continue
+            baseline = committed.get(field)
+            if not isinstance(baseline, (int, float)) or baseline <= 0:
+                continue
+            if isinstance(fresh, (int, float)) \
+                    and fresh < REGRESSION_FRACTION * baseline:
+                out.append((name, field, baseline, fresh))
+    return out
 
 
 @pytest.fixture(scope="session")
@@ -65,15 +95,11 @@ def pytest_sessionfinish(session, exitstatus):
     if not payload:
         return
     # A host/environment stamp: when committed numbers shift, the
-    # stamp says whether the host class shifted with them.  Stable
-    # per machine so it does not by itself dirty the file.
-    payload["_environment"] = {
-        "cpus": os.cpu_count(),
-        "implementation": platform.python_implementation(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "system": platform.system(),
-    }
+    # stamp says whether the host class shifted with them (the numpy
+    # version -- or its absence -- decides which sweep engine the
+    # numbers exercised).  Stable per machine so it does not by
+    # itself dirty the file.
+    payload["_environment"] = telemetry.environment_block()
     path = Path(str(session.config.rootpath)) / "BENCH_throughput.json"
     try:
         # Merge over the existing record so a partial run (-k, single
@@ -85,6 +111,16 @@ def pytest_sessionfinish(session, exitstatus):
         try:
             existing = json.loads(existing_text)
             if isinstance(existing, dict):
+                # Warn (never fail) when a fresh number cratered
+                # against the committed baseline.
+                for name, field, baseline, fresh \
+                        in find_regressions(existing, payload):
+                    print(f"\nBENCH REGRESSION: {name} {field} "
+                          f"{fresh:,.0f} < {REGRESSION_FRACTION:.0%} "
+                          f"of committed {baseline:,.0f}")
+                    telemetry.event("bench.regression", benchmark=name,
+                                    field=field, committed=baseline,
+                                    fresh=fresh)
                 existing.update(payload)
                 payload = existing
         except ValueError:

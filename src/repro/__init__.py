@@ -47,7 +47,7 @@ from repro.memory.fpa import AddressFormat, FPAddress, address_format
 from repro.memory.mmu import MMU
 from repro.memory.tags import Tag, Word
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Assembler",

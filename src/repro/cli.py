@@ -11,8 +11,16 @@ Subcommands::
                  [--assoc CSV] [--opt] [--full] [--warmup F] ...
                  single-pass cache sweep over a registered workload
     repro list   [--workloads] [--experiments] [--engines]
-                 list registered workloads, experiments and the
-                 available sweep execution backends
+                 [--versions]
+                 list registered workloads, experiments, the
+                 available sweep execution backends and the
+                 package/format/semantics versions
+    repro report [--run KEY] [--run-dir DIR] [--format text|json]
+                 [--top N]
+                 render the latest (or named) run's telemetry:
+                 phase-time breakdown, slowest tasks, store hit
+                 rates, robustness ledger (requires a previous
+                 `repro run --telemetry`)
     repro trace  [NAME] [--set k=v ...] [--force] [--stats]
                  [--verify]
                  materialize one workload into the trace store;
@@ -22,6 +30,10 @@ Subcommands::
                  the corrupt ones
     repro bench  [pytest args ...]
                  run the benchmark suite (pytest-benchmark)
+
+``repro --version`` prints the package version plus the versioned
+surfaces a result depends on (trace format, measurement semantics,
+available engines).
 
 Installed as the ``repro`` console script (see pyproject.toml); also
 reachable as ``python -m repro`` from a source checkout.
@@ -80,11 +92,33 @@ def _print_engines() -> None:
           "single-pass, else grid")
 
 
+def _print_versions() -> None:
+    """The versioned surfaces a reproduced number depends on."""
+    import repro
+    from repro.sweep import np_engine
+    from repro.trace.columnar import FORMAT_VERSION
+    from repro.trace.semantics import SEMANTICS
+
+    engines = ["single-pass", "grid"]
+    if np_engine.numpy_available():
+        engines.insert(1, "numpy")
+    print(f"repro {repro.__version__}")
+    print(f"  trace format:  v{FORMAT_VERSION} (columnar, CRC32 "
+          f"per block)")
+    print(f"  semantics:     {', '.join(SEMANTICS)}")
+    print(f"  engines:       {', '.join(engines)}"
+          + ("" if np_engine.numpy_available()
+             else "  (numpy unavailable)"))
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import harness
     from repro.workloads import specs
     from repro.workloads.store import TraceStore
 
+    if args.versions:
+        _print_versions()
+        return 0
     only_flags = (args.workloads, args.experiments, args.engines)
     show_all = not any(only_flags)
     show_workloads = args.workloads or show_all
@@ -305,6 +339,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.journal import default_root
+    from repro.telemetry import report as telemetry_report
+
+    root = Path(args.run_dir) if args.run_dir else default_root()
+    try:
+        run_dir = telemetry_report.find_run_directory(root, run=args.run)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    data = telemetry_report.load_run(run_dir)
+    document = telemetry_report.build_report(data, top=args.top)
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(telemetry_report.render(document))
+    return 0
+
+
 _BENCH_HELP = """\
 usage: repro bench [pytest args ...]
 
@@ -440,8 +495,31 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(reports whether numpy was "
                                   "importable, so logs show which "
                                   "path actually ran)")
+    list_parser.add_argument("--versions", action="store_true",
+                             help="only the package / trace-format / "
+                                  "semantics / engine versions "
+                                  "(same block as `repro --version`)")
     list_parser.add_argument("--trace-dir", type=str, default=None)
     list_parser.set_defaults(func=_cmd_list)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="render a run's telemetry (phase times, slowest tasks, "
+             "store hit rates, robustness ledger)")
+    report_parser.add_argument("--run", type=str, default=None,
+                               metavar="KEY",
+                               help="run-key prefix to report on "
+                                    "(default: the newest "
+                                    "telemetry-bearing run)")
+    report_parser.add_argument("--run-dir", type=str, default=None,
+                               help="run-journal directory (default "
+                                    ".repro_runs or $REPRO_RUN_DIR)")
+    report_parser.add_argument("--format", choices=("text", "json"),
+                               default="text",
+                               help="output format (default text)")
+    report_parser.add_argument("--top", type=int, default=10,
+                               help="slowest tasks to list (default 10)")
+    report_parser.set_defaults(func=_cmd_report)
 
     trace_parser = commands.add_parser(
         "trace", help="materialize one workload into the trace "
@@ -483,6 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
+    # Dispatched before argparse: the subcommand is `required`, so a
+    # bare top-level flag needs its own path.
+    if arguments and arguments[0] in ("--version", "-V", "version"):
+        _print_versions()
+        return 0
     # `repro bench -k fith`: everything after `bench` goes to pytest
     # verbatim, which argparse.REMAINDER cannot express for leading
     # options.

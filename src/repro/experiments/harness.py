@@ -57,7 +57,7 @@ from concurrent.futures import TimeoutError as PoolTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import faults
+from repro import faults, telemetry
 from repro.errors import RetryExhausted, TaskTimeout
 from repro.experiments import registry
 from repro.experiments.common import ExperimentResult
@@ -85,9 +85,11 @@ def _materialize_workloads(specs: Sequence[ExperimentSpec],
                 needed.append(name)
     for name in needed:
         start = time.time()
-        path, hit = ctx.store.ensure(name, quick=ctx.quick,
-                                     scale=ctx.scale)
-        events = ctx.events(name)
+        with telemetry.span("harness.materialize", workload=name) as sp:
+            path, hit = ctx.store.ensure(name, quick=ctx.quick,
+                                         scale=ctx.scale)
+            events = ctx.events(name)
+            sp.set(hit=hit, events=len(events))
         verb = "loaded from trace store" if hit else "generated"
         note(f"workload {name!r}: {len(events)} events "
              f"({events.dispatched_count()} dispatched) "
@@ -130,10 +132,15 @@ def _serial_task(exp_id: str, shard, ctx: RunContext, budget: int,
     attempt = 0
     while True:
         try:
-            faults.inject("worker.task", key=_task_key(exp_id, shard))
-            if shard == _WHOLE:
-                return spec.runner(ctx)
-            return spec.shard_runner(ctx, shard)
+            with telemetry.span("harness.task",
+                                task=_task_key(exp_id, shard),
+                                attempt=attempt + 1, mode="serial"):
+                telemetry.inc("harness.tasks")
+                faults.inject("worker.task",
+                              key=_task_key(exp_id, shard))
+                if shard == _WHOLE:
+                    return spec.runner(ctx)
+                return spec.shard_runner(ctx, shard)
         except Exception as error:
             stats["task_failures"] += 1
             attempt += 1
@@ -146,6 +153,10 @@ def _serial_task(exp_id: str, shard, ctx: RunContext, budget: int,
                     last_error=error) from error
             delay = backoff * (2 ** (attempt - 1))
             stats["retries"] += 1
+            telemetry.event("harness.retry",
+                            task=_task_key(exp_id, shard),
+                            attempt=attempt,
+                            error=type(error).__name__)
             note(f"! {_task_key(exp_id, shard)}: "
                  f"{type(error).__name__}: {error} -- retrying "
                  f"(attempt {attempt}/{budget}, backoff {delay:.2f}s)")
@@ -195,16 +206,26 @@ def _pool_run(exp_id: str, shard, ctx_args: dict):
     ctx = RunContext(**ctx_args)
     faults.mark_worker()
     faults.ensure(ctx.fault_plan)
-    faults.inject("worker.task", key=_task_key(exp_id, shard))
-    cached = _WORKER_STORES.get(ctx.trace_dir)
-    if cached is None:
-        _WORKER_STORES[ctx.trace_dir] = ctx.store
-    else:
-        ctx._store = cached
-    spec = registry.get(exp_id)
-    if shard == _WHOLE:
-        return spec.runner(ctx)
-    return spec.shard_runner(ctx, shard)
+    telemetry.ensure(ctx.telemetry_dir)
+    try:
+        with telemetry.span("harness.task",
+                            task=_task_key(exp_id, shard),
+                            mode="pool"):
+            telemetry.inc("harness.tasks")
+            faults.inject("worker.task", key=_task_key(exp_id, shard))
+            cached = _WORKER_STORES.get(ctx.trace_dir)
+            if cached is None:
+                _WORKER_STORES[ctx.trace_dir] = ctx.store
+            else:
+                ctx._store = cached
+            spec = registry.get(exp_id)
+            if shard == _WHOLE:
+                return spec.runner(ctx)
+            return spec.shard_runner(ctx, shard)
+    finally:
+        # Flush the worker's metric shard after every task: a later
+        # crash in this process loses at most one task's counts.
+        telemetry.flush()
 
 
 #: Sentinel shard key meaning "run the whole experiment in one task".
@@ -264,6 +285,9 @@ def _run_parallel(specs: Sequence[ExperimentSpec], ctx: RunContext,
         else:
             delay = backoff * (2 ** (attempts[task] - 1))
             stats["retries"] += 1
+            telemetry.event("harness.retry", task=_task_key(*task),
+                            attempt=attempts[task],
+                            error=type(error).__name__)
             note(f"! {_task_key(*task)}: {type(error).__name__}: "
                  f"{error} -- will retry (attempt "
                  f"{attempts[task]}/{retries}, backoff {delay:.2f}s)")
@@ -277,6 +301,8 @@ def _run_parallel(specs: Sequence[ExperimentSpec], ctx: RunContext,
                  f"degrading to serial execution for the remaining "
                  f"{len(pending)} task(s)")
             stats["degraded"] = True
+            telemetry.event("harness.degraded",
+                            remaining=len(pending))
             faults.advance_epoch()
             for task in pending:
                 budget = max(0, retries - attempts[task])
@@ -324,6 +350,9 @@ def _run_parallel(specs: Sequence[ExperimentSpec], ctx: RunContext,
             except PoolTimeout:
                 stats["timeouts"] += 1
                 stats["pool_breaks"] += 1
+                telemetry.event("harness.timeout",
+                                task=_task_key(*task),
+                                timeout=task_timeout)
                 note(f"! {_task_key(*task)}: no result within "
                      f"--task-timeout={task_timeout}s; terminating "
                      f"the pool (worker presumed hung)")
@@ -334,6 +363,8 @@ def _run_parallel(specs: Sequence[ExperimentSpec], ctx: RunContext,
                 abandoned = True
             except BrokenProcessPool as error:
                 stats["pool_breaks"] += 1
+                telemetry.event("harness.pool_break",
+                                task=_task_key(*task))
                 note(f"! worker pool broke at {_task_key(*task)}; "
                      f"harvesting finished results and re-submitting "
                      f"the rest into a fresh pool")
@@ -386,13 +417,18 @@ def run_all(scale: int = 1, quick: bool = False, stream=None,
             resume: bool = False,
             run_dir: Optional[str] = None,
             fault_plan=None,
-            fault_seed: int = 0) -> List[ExperimentResult]:
+            fault_seed: int = 0,
+            with_telemetry: bool = False) -> List[ExperimentResult]:
     """Run the selected experiments; returns results in suite order.
 
     ``fault_plan`` may be a :class:`repro.faults.FaultPlan`, a plan
     string (CLI syntax or JSON), or None.  The plan is armed for the
     duration of the run (exported to pool workers) and disarmed
     afterwards.
+
+    ``with_telemetry`` arms :mod:`repro.telemetry` into the run's
+    journal directory (``.repro_runs/<run-key>/telemetry/``) for the
+    duration of the run; ``repro report`` renders the result.
     """
     out = stream or sys.stdout
 
@@ -408,7 +444,8 @@ def run_all(scale: int = 1, quick: bool = False, stream=None,
         return _run_all(scale, quick, note, only, skip, jobs,
                         trace_dir, retries=retries,
                         task_timeout=task_timeout, backoff=backoff,
-                        resume=resume, run_dir=run_dir, plan=plan)
+                        resume=resume, run_dir=run_dir, plan=plan,
+                        with_telemetry=with_telemetry)
     finally:
         if plan is not None:
             faults.install(None)
@@ -416,10 +453,8 @@ def run_all(scale: int = 1, quick: bool = False, stream=None,
 
 def _run_all(scale, quick, note, only, skip, jobs, trace_dir, *,
              retries, task_timeout, backoff, resume, run_dir,
-             plan) -> List[ExperimentResult]:
+             plan, with_telemetry=False) -> List[ExperimentResult]:
     specs = registry.select(only, skip)
-    ctx = RunContext(scale=scale, quick=quick, trace_dir=trace_dir,
-                     fault_plan=plan.to_json() if plan else None)
     stats = _new_stats()
     started = time.time()
 
@@ -431,7 +466,36 @@ def _run_all(scale, quick, note, only, skip, jobs, trace_dir, *,
         manifest={"scale": scale, "quick": quick,
                   "suite": [spec.id for spec in specs],
                   "trace_dir": trace_dir, "jobs": jobs})
+    telemetry_armed = False
+    if with_telemetry and resume:
+        # Arm before the journal replays records so the resume is
+        # spanned; resuming never clears the sink directory.
+        telemetry.install(journal.directory / "telemetry")
+        telemetry_armed = True
     done = journal.start(resume=resume)
+    if with_telemetry and not telemetry_armed:
+        # Fresh run: journal.clear() just dropped any stale sink.
+        telemetry.install(journal.directory / "telemetry", fresh=True)
+        telemetry_armed = True
+    try:
+        return _run_all_inner(
+            specs, journal, done, stats, started, note, scale=scale,
+            quick=quick, jobs=jobs, trace_dir=trace_dir,
+            retries=retries, task_timeout=task_timeout,
+            backoff=backoff, resume=resume, plan=plan)
+    finally:
+        if telemetry_armed:
+            telemetry.finalize()
+            telemetry.install(None)
+
+
+def _run_all_inner(specs, journal, done, stats, started, note, *,
+                   scale, quick, jobs, trace_dir, retries,
+                   task_timeout, backoff, resume,
+                   plan) -> List[ExperimentResult]:
+    ctx = RunContext(scale=scale, quick=quick, trace_dir=trace_dir,
+                     fault_plan=plan.to_json() if plan else None,
+                     telemetry_dir=telemetry.active_directory())
     done = {exp_id: result for exp_id, result in done.items()
             if any(spec.id == exp_id for spec in specs)}
     stats["resumed"] = len(done)
@@ -450,17 +514,20 @@ def _run_all(scale, quick, note, only, skip, jobs, trace_dir, *,
                 and result.data.get("failure")):
             journal.record(exp_id, result)
 
-    _materialize_workloads(pending_specs, ctx, note)
-    if jobs > 1:
-        fresh = _run_parallel(pending_specs, ctx, jobs, note,
-                              retries=retries,
-                              task_timeout=task_timeout,
-                              backoff=backoff, stats=stats,
-                              on_result=on_result)
-    else:
-        fresh = _run_sequential(pending_specs, ctx, note,
-                                retries=retries, backoff=backoff,
-                                stats=stats, on_result=on_result)
+    with telemetry.span("harness.run", scale=scale, quick=quick,
+                        jobs=jobs, experiments=len(specs),
+                        resumed=len(done)):
+        _materialize_workloads(pending_specs, ctx, note)
+        if jobs > 1:
+            fresh = _run_parallel(pending_specs, ctx, jobs, note,
+                                  retries=retries,
+                                  task_timeout=task_timeout,
+                                  backoff=backoff, stats=stats,
+                                  on_result=on_result)
+        else:
+            fresh = _run_sequential(pending_specs, ctx, note,
+                                    retries=retries, backoff=backoff,
+                                    stats=stats, on_result=on_result)
     by_id = {spec.id: result
              for spec, result in zip(pending_specs, fresh)}
     results = [done.get(spec.id, by_id.get(spec.id))
@@ -480,6 +547,9 @@ def _run_all(scale, quick, note, only, skip, jobs, trace_dir, *,
         status = ("FAILED  " if failed
                   else "ok " if result.all_hold else "DIVERGES")
         note(f"  [{status}] {result.experiment}")
+    env = telemetry.environment_block()
+    numpy_note = (f"numpy {env['numpy']}" if env["numpy"]
+                  else "numpy absent")
     note(f"\n{held}/{total} paper claims reproduced "
          f"(jobs={jobs}, {time.time() - started:.1f}s wall).")
     note(f"robustness: {stats['retries']} retries, "
@@ -490,7 +560,25 @@ def _run_all(scale, quick, note, only, skip, jobs, trace_dir, *,
          + (f", {stats['resumed']} resumed from journal"
             if resume else "")
          + (f", {faults.fired_count()} faults injected (parent)"
-            if plan is not None else ""))
+            if plan is not None else "")
+         + f", {numpy_note}")
+    if telemetry.enabled():
+        telemetry.inc("harness.experiments", len(specs))
+        telemetry.inc("harness.claims_total", total)
+        telemetry.inc("harness.claims_held", held)
+        for key in ("retries", "timeouts", "pool_breaks",
+                    "task_failures"):
+            if stats[key]:
+                telemetry.inc(f"harness.{key}", stats[key])
+        if stats["degraded"]:
+            telemetry.inc("harness.degraded")
+        if stats["resumed"]:
+            telemetry.inc("harness.resumed", stats["resumed"])
+        telemetry.gauge("harness.wall_seconds",
+                        round(time.time() - started, 3))
+        telemetry.flush()
+        note(f"telemetry: {telemetry.active_directory()} "
+             f"(render with `repro report`)")
     return results
 
 
@@ -556,6 +644,10 @@ def add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the fault plan's deterministic "
                              "injection rolls (default 0)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record spans + metrics under the run's "
+                             "journal directory (render with "
+                             "`repro report`)")
     parser.add_argument("--list", action="store_true", dest="list_only",
                         help="list registered experiments and exit")
 
@@ -572,7 +664,8 @@ def run_from_args(args: argparse.Namespace) -> int:
                       backoff=args.retry_backoff,
                       resume=args.resume, run_dir=args.run_dir,
                       fault_plan=args.faults,
-                      fault_seed=args.fault_seed)
+                      fault_seed=args.fault_seed,
+                      with_telemetry=args.telemetry)
     return 0 if all(r.all_hold for r in results) else 1
 
 

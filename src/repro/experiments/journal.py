@@ -26,11 +26,13 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
+from repro import telemetry
 from repro.experiments.common import ExperimentResult
 
 _RECORD_SUFFIX = ".result"
@@ -81,7 +83,12 @@ class RunJournal:
             self.clear()
         self.directory.mkdir(parents=True, exist_ok=True)
         self._write_manifest()
-        return self.completed() if resume else {}
+        if not resume:
+            return {}
+        with telemetry.span("journal.resume", run=self.key) as sp:
+            done = self.completed()
+            sp.set(served=len(done))
+        return done
 
     def _write_manifest(self) -> None:
         manifest = dict(self._manifest)
@@ -95,22 +102,24 @@ class RunJournal:
 
     def record(self, exp_id: str, result: ExperimentResult) -> None:
         """Atomically persist one completed experiment's result."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._record_path(exp_id)
-        blob = pickle.dumps((exp_id, result),
-                            protocol=pickle.HIGHEST_PROTOCOL)
-        fd, tmp = tempfile.mkstemp(dir=str(self.directory),
-                                   prefix=path.stem, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
+        with telemetry.span("journal.record", experiment=exp_id):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._record_path(exp_id)
+            blob = pickle.dumps((exp_id, result),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                       prefix=path.stem, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            telemetry.inc("journal.records")
 
     def completed(self) -> Dict[str, ExperimentResult]:
         """exp id -> journaled result, skipping unreadable records."""
@@ -133,11 +142,19 @@ class RunJournal:
         return out
 
     def clear(self) -> None:
-        """Drop every record (and temp debris) for this run key."""
+        """Drop every record (and temp debris) for this run key.
+
+        Subdirectories -- notably the run's ``telemetry/`` sink --
+        are removed too: a fresh (non-resume) run must not inherit a
+        previous run's spans or metric shards.
+        """
         if not self.directory.is_dir():
             return
         for path in self.directory.iterdir():
             try:
-                path.unlink()
+                if path.is_dir():
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink()
             except OSError:
                 pass

@@ -62,6 +62,11 @@ class RunContext:
     #: keeps worker re-arming explicit and covers exotic spawn setups
     #: that scrub the environment.
     fault_plan: Optional[str] = None
+    #: Directory of the run's telemetry sink, or None when telemetry
+    #: is off.  Like ``fault_plan`` this normally reaches pool
+    #: children through the environment (``REPRO_TELEMETRY``); the
+    #: context copy makes worker re-attachment explicit.
+    telemetry_dir: Optional[str] = None
     _store: Optional[TraceStore] = field(default=None, repr=False,
                                          compare=False)
 
@@ -87,7 +92,8 @@ class RunContext:
         """Constructor kwargs for rebuilding this context in a worker."""
         return {"scale": self.scale, "quick": self.quick,
                 "trace_dir": self.trace_dir,
-                "fault_plan": self.fault_plan}
+                "fault_plan": self.fault_plan,
+                "telemetry_dir": self.telemetry_dir}
 
 
 @dataclass(frozen=True)

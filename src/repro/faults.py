@@ -58,6 +58,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import (FaultInjected, InjectedIOError,
                           InjectedTaskError, WorkerCrash)
 
@@ -332,6 +333,13 @@ def inject(site: str, key: str = "", payload: Optional[bytes] = None):
     spec = active.pick(site, key)
     if spec is None:
         return payload
+    # The fired log goes to telemetry BEFORE the fault acts: a
+    # ``crash`` kind ``os._exit``s immediately, so the event (flushed
+    # per record) and the flushed counters are all that survive it.
+    telemetry.event("fault.fired", site=site, kind=spec.kind, key=key,
+                    epoch=active.epoch)
+    telemetry.inc("faults.fired", site=site, kind=spec.kind)
+    telemetry.flush()
     label = f"injected {spec.kind} at {site}" + (f" [{key}]" if key else "")
     if spec.kind == "io-error":
         raise InjectedIOError(label)

@@ -50,6 +50,8 @@ from __future__ import annotations
 from itertools import accumulate
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
+
 #: "Never referenced again" sentinel for OPT priorities; compares
 #: greater than every real trace index.
 NEVER = float("inf")
@@ -169,6 +171,11 @@ class MultiConfigLRU:
             self.total += n
             self._cum_by_k = None
             self._full_cum = None
+        if n:
+            # One registry bump per bulk replay (never per reference):
+            # the disabled path costs a single env lookup here.
+            telemetry.inc("sweep.refs_replayed", n,
+                          engine="single-pass")
 
     def touch(self, block: Hashable, placement: int,
               count: bool = True) -> None:

@@ -46,6 +46,7 @@ try:
 except ImportError:  # exercised by the sys.modules block in the tests
     np = None  # type: ignore[assignment]
 
+from repro import telemetry
 from repro.errors import BackendUnavailable
 
 #: Vector rounds of the chain resolver before it falls back to the
@@ -367,6 +368,9 @@ class NumpyMultiConfigLRU:
                 # carry prefix just rebuilt above
                 stack, fcap, _ = self._full
                 stack[:] = self._carry_b[:fcap].tolist()
+        # One registry bump per bulk replay (never per reference).
+        telemetry.inc("sweep.refs_replayed", stop - start,
+                      engine="numpy")
 
     def _count_levels(self, seg, P):
         m = seg.m

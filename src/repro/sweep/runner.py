@@ -40,9 +40,11 @@ trace's address column, zero-copy) and feed the engines through
 
 from __future__ import annotations
 
+import time
 from array import array
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.caches.setassoc import stable_hash
 from repro.sweep import np_engine
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
@@ -296,6 +298,27 @@ def run_sweep(spec: SweepSpec,
     up front.
     """
     events = as_trace(events)
+    with telemetry.span("sweep.run", cache=spec.cache,
+                        engine=spec.engine) as sp:
+        start = time.perf_counter()
+        surface = _dispatch(spec, events)
+        elapsed = time.perf_counter() - start
+        meta = surface.meta
+        sp.set(resolved_engine=meta["engine"],
+               trace_passes=meta["trace_passes"],
+               references=meta.get("references", meta.get("events")))
+        if telemetry.enabled() and elapsed > 0:
+            replayed = ((meta.get("references")
+                         or meta.get("events") or 0)
+                        * max(1, meta["trace_passes"]))
+            telemetry.observe("sweep.replay_events_per_sec",
+                              replayed / elapsed,
+                              cache=spec.cache, engine=meta["engine"])
+    return surface
+
+
+def _dispatch(spec: SweepSpec, events: Sequence) -> ResultSurface:
+    """Engine selection (see :func:`run_sweep`)."""
     if spec.engine == "grid":
         return _run_grid(spec, events)
     eligible = spec.single_pass_eligible()

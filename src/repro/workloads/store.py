@@ -55,7 +55,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro import faults
+from repro import faults, telemetry
 from repro.errors import PayloadFormatError, StoreCorruption
 from repro.trace.columnar import FORMAT_VERSION, Trace, as_trace
 from repro.workloads.spec import WorkloadSpec, get as get_spec
@@ -130,19 +130,26 @@ class TraceStore:
         key = self.key_for(spec, params)
         memo = self._memo.get(key)
         if memo is not None:
+            telemetry.inc("store.memo_hit")
             return memo
         path = self.root / f"{spec.name}-{key}.trace"
-        events = self._read(path)
-        if events is not None:
-            self.hits += 1
-            if self._read_sidecar(path) is None:
-                self._write_sidecar(path, self._sidecar_meta(
-                    spec.name, spec.version, params, events))
-        else:
-            self.misses += 1
-            self.generated += 1
-            events = spec.generate(params)
-            self._write(path, spec, params, events)
+        with telemetry.span("store.load", workload=spec.name) as sp:
+            events = self._read(path)
+            if events is not None:
+                self.hits += 1
+                telemetry.inc("store.hit")
+                sp.set(outcome="hit", events=len(events))
+                if self._read_sidecar(path) is None:
+                    self._write_sidecar(path, self._sidecar_meta(
+                        spec.name, spec.version, params, events))
+            else:
+                self.misses += 1
+                self.generated += 1
+                telemetry.inc("store.miss")
+                telemetry.inc("store.generated")
+                events = spec.generate(params)
+                self._write(path, spec, params, events)
+                sp.set(outcome="generated", events=len(events))
         self._memo[key] = events
         return events
 
@@ -198,6 +205,8 @@ class TraceStore:
         except OSError:
             return None
         self.quarantined += 1
+        telemetry.inc("store.quarantined")
+        telemetry.event("store.quarantine", file=path.name, reason=reason)
         sidecar = path.with_suffix(".json")
         try:
             os.replace(sidecar, qdir / sidecar.name)
@@ -241,22 +250,24 @@ class TraceStore:
     def _write(self, path: Path, spec: WorkloadSpec,
                params: Mapping[str, object], events: Trace) -> None:
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            blob = self.serialize(events)
-            blob = faults.inject("store.write", key=path.name,
-                                 payload=blob)
-            fd, tmp = tempfile.mkstemp(dir=str(self.root),
-                                       prefix=path.stem, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
+            with telemetry.span("store.write", file=path.name) as sp:
+                self.root.mkdir(parents=True, exist_ok=True)
+                blob = self.serialize(events)
+                blob = faults.inject("store.write", key=path.name,
+                                     payload=blob)
+                sp.set(bytes=len(blob))
+                fd, tmp = tempfile.mkstemp(dir=str(self.root),
+                                           prefix=path.stem, suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
             self._write_sidecar(path, self._sidecar_meta(
                 spec.name, spec.version, params, events))
         except OSError:
