@@ -29,6 +29,18 @@ from repro.workloads import load_events
 
 _WALLCLOCK = {}
 
+
+@pytest.fixture(autouse=True)
+def _no_result_cache(monkeypatch):
+    """Benches measure replay, not the sweep-result cache.
+
+    The store-loaded ``events`` trace carries its content key, so with
+    the cache live every warm re-run of a figure or harness bench
+    would silently time a cache hit instead of the engine.  The cache
+    bench in test_bench_store re-enables it locally.
+    """
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+
 #: A fresh throughput below this fraction of the committed number is
 #: flagged as a regression (warning only -- hosts differ; the guard
 #: exists to make a 10x cliff visible, not to gate CI on noise).

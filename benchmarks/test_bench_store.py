@@ -1,0 +1,131 @@
+"""Trace-store bench: mmap zero-copy loading and the sweep-result cache.
+
+Two measurements, both recorded into ``BENCH_throughput.json``:
+
+* ``store::load_{read,mmap}`` -- full load of the measurement trace's
+  payload with every column touched (so both paths pay the CRC walk),
+  via the copying ``from_bytes`` path against the zero-copy
+  ``from_buffer`` mmap path, in events/sec.  ``store::mmap_open``
+  additionally times the bare open (structure check only, CRC
+  deferred), which is the latency the store actually adds to a warm
+  harness start.  The acceptance bar is deliberately loose -- mmap
+  within 10x of read -- because the win is the deferred work, not the
+  open itself.
+
+* ``store::result_cache`` -- one engine replay of the paper ITLB sweep
+  against a cached-query hit on the same spec/trace key, asserting the
+  >=100x speedup the PR claims.  The surfaces are compared bitwise
+  while we are here.
+
+The session-wide result-cache kill switch from conftest is re-enabled
+locally for the cache bench only.
+"""
+
+import mmap
+import time
+
+from repro.sweep import SweepSpec, run_sweep
+from repro.trace.columnar import MappedTrace, Trace
+
+ROUNDS = 5
+
+
+def _touch(trace):
+    """Force every column (and its CRC, when deferred) to be read."""
+    return (trace.addresses()[-1], trace.opcodes()[0],
+            trace.receiver_classes()[0], trace.dispatched_count())
+
+
+def test_store_load_mmap_vs_read(events, wallclock_records, tmp_path):
+    payload = tmp_path / "bench.trace"
+    payload.write_bytes(events.to_bytes())
+    n = len(events)
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        trace = Trace.from_bytes(payload.read_bytes())
+        _touch(trace)
+    read_seconds = (time.perf_counter() - start) / ROUNDS
+
+    mapped = True
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        with open(payload, "rb") as handle:
+            buffer = mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        trace = Trace.from_buffer(memoryview(buffer))
+        _touch(trace)
+        if isinstance(trace, MappedTrace):
+            trace.close()
+        else:  # big-endian host: from_buffer copied
+            mapped = False
+        buffer.close()
+    mmap_seconds = (time.perf_counter() - start) / ROUNDS
+
+    opens = 0
+    start = time.perf_counter()
+    deadline = start + 0.2
+    while time.perf_counter() < deadline:
+        with open(payload, "rb") as handle:
+            buffer = mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        trace = Trace.from_buffer(memoryview(buffer))
+        assert len(trace) == n  # structure only; no column CRC paid
+        if isinstance(trace, MappedTrace):
+            trace.close()
+        buffer.close()
+        opens += 1
+    open_seconds = (time.perf_counter() - start) / opens
+
+    wallclock_records["store::load_read"] = {
+        "events_per_second": round(n / read_seconds),
+        "wall_seconds": round(read_seconds, 5),
+    }
+    wallclock_records["store::load_mmap"] = {
+        "events_per_second": round(n / mmap_seconds),
+        "wall_seconds": round(mmap_seconds, 5),
+        "zero_copy": mapped,
+    }
+    wallclock_records["store::mmap_open"] = {
+        "opens_per_second": round(1.0 / open_seconds),
+        "wall_seconds": round(open_seconds, 6),
+    }
+    # The acceptance bar: mmap loads within 10x of the read path even
+    # when forced to pay the full CRC walk (it normally defers it).
+    assert n / mmap_seconds >= 0.1 * (n / read_seconds)
+
+
+def test_result_cache_hit_vs_replay(events, wallclock_records,
+                                    monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "1")  # conftest kills it
+    spec = SweepSpec(cache="itlb", double_pass=True,
+                     label="bench-result-cache")
+    assert events.store_key, "bench trace must come from the store"
+    store_root = events.store_root
+    from repro.workloads.library import ResultCache
+    ResultCache(store_root).clear()  # the cold timing must replay
+
+    start = time.perf_counter()
+    replayed = run_sweep(spec, events)  # computes and caches
+    replay_seconds = time.perf_counter() - start
+
+    hit_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        cached = run_sweep(spec, events)
+        hit_seconds = min(hit_seconds, time.perf_counter() - start)
+        assert cached.counts == replayed.counts  # bitwise
+        assert cached.table() == replayed.table()
+
+    speedup = replay_seconds / hit_seconds
+    wallclock_records["store::result_cache"] = {
+        "replay_wall_seconds": round(replay_seconds, 4),
+        "hit_wall_seconds": round(hit_seconds, 6),
+        "queries_per_second": round(1.0 / hit_seconds),
+        "speedup": round(speedup, 1),
+        "engine": replayed.meta["engine"],
+    }
+    # Keep the on-disk cache out of the other replay benches' way.
+    ResultCache(store_root).clear()
+    assert speedup >= 100, (
+        f"cached query only {speedup:.0f}x over replay")

@@ -28,6 +28,11 @@ Subcommands::
                  objects are materialized); --verify audits every
                  stored payload's CRC32 integrity and quarantines
                  the corrupt ones
+    repro store  {stats|verify|gc|migrate} [--trace-dir DIR]
+                 administer the trace library: layout/result-cache
+                 statistics, integrity audit (same as
+                 `repro trace --verify`), index-litter sweep, and
+                 flat-to-sharded layout migration
     repro bench  [pytest args ...]
                  run the benchmark suite (pytest-benchmark)
 
@@ -174,6 +179,12 @@ def _cmd_trace_verify(args: argparse.Namespace) -> int:
             print(f"  - {name}: {reason}")
     else:
         print("corrupt:     0")
+    if report["mismatched"]:
+        print(f"mismatched:  {len(report['mismatched'])} sidecar(s) "
+              f"misdescribe a healthy payload (reported only; the "
+              f"payload is the truth)")
+        for name, reason in report["mismatched"]:
+            print(f"  - {name}: {reason}")
     return 1 if report["corrupt"] else 0
 
 
@@ -224,6 +235,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               + (f" in [{stats['address_min']}, {stats['address_max']}]"
                  if stats["events"] else ""))
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.workloads.store import TraceStore
+
+    if args.action == "verify":
+        return _cmd_trace_verify(args)
+    store = TraceStore(args.trace_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        cache = stats["result_cache"]
+        print(f"trace store:  {stats['root']}")
+        print(f"payloads:     {stats['payloads']} "
+              f"({stats['sharded']} sharded across {stats['shards']} "
+              f"shard dir(s), {stats['flat']} flat legacy), "
+              f"{stats['payload_bytes']} bytes")
+        print(f"manifest:     "
+              f"{'present' if stats['manifest'] else 'absent (rebuilt on demand)'}")
+        print(f"quarantined:  {stats['quarantined']}")
+        state = ("enabled" if cache["enabled"]
+                 else "disabled via $REPRO_RESULT_CACHE")
+        print(f"result cache: {cache['entries']} entries, "
+              f"{cache['bytes']} of {cache['budget_bytes']} budget "
+              f"bytes ({state})")
+        return 0
+    if args.action == "gc":
+        report = store.library.gc()
+        print(f"trace store: {store.root}")
+        print(f"tmp files removed:       {len(report['tmp_files'])}")
+        print(f"orphan sidecars removed: "
+              f"{len(report['orphan_sidecars'])}")
+        print(f"empty shards removed:    {len(report['empty_shards'])}")
+        for kind in ("tmp_files", "orphan_sidecars", "empty_shards"):
+            for name in report[kind]:
+                print(f"  - {name}")
+        return 0
+    if args.action == "migrate":
+        report = store.library.migrate()
+        print(f"trace store: {store.root}")
+        print(f"migrated:        {len(report['migrated'])} payload(s) "
+              f"into the sharded layout")
+        for name in report["migrated"]:
+            print(f"  - {name}")
+        print(f"already sharded: {report['already_sharded']}")
+        if report["failed"]:
+            print(f"failed:          {len(report['failed'])}")
+            for name, reason in report["failed"]:
+                print(f"  - {name}: {reason}")
+            return 1
+        return 0
+    raise AssertionError(f"unhandled store action {args.action!r}")
 
 
 def _warmup_fraction(text: str) -> float:
@@ -548,6 +610,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="override a generator parameter")
     trace_parser.add_argument("--trace-dir", type=str, default=None)
     trace_parser.set_defaults(func=_cmd_trace)
+
+    store_parser = commands.add_parser(
+        "store",
+        help="administer the trace library (layout stats, integrity "
+             "audit, index-litter gc, flat-to-sharded migration)")
+    store_parser.add_argument(
+        "action", choices=("stats", "verify", "gc", "migrate"),
+        help="stats: layout + result-cache numbers; verify: audit "
+             "every payload (quarantines corruption, reports stale "
+             "sidecars); gc: remove orphan sidecars / tmp litter / "
+             "empty shard dirs (payloads are never touched); "
+             "migrate: move legacy flat payloads into shards/")
+    store_parser.add_argument("--trace-dir", type=str, default=None)
+    store_parser.set_defaults(func=_cmd_store)
 
     # bench is dispatched before argparse (see main): REMAINDER cannot
     # forward leading pytest flags like `-k`.  Registered here only so

@@ -15,15 +15,26 @@ from repro.experiments.common import (
     semantics_delta_section,
 )
 from repro.experiments.registry import ExperimentSpec, register
+from repro.sweep import SweepSpec, run_sweep
 from repro.trace.cachesim import (
     PAPER_ASSOCIATIVITIES,
     PAPER_SIZES,
     SweepResult,
     ascii_plot,
-    sweep_icache,
 )
 from repro.trace.columnar import Trace, as_trace
 from repro.trace.workloads import paper_trace
+
+
+def figure_spec(sizes: Sequence[int] = PAPER_SIZES,
+                associativities: Sequence = PAPER_ASSOCIATIVITIES,
+                semantics: str = "paper") -> SweepSpec:
+    """The exact sweep FIG-11 replays (see
+    :func:`repro.experiments.fig10.figure_spec` for why this is one
+    shared definition rather than inline construction)."""
+    return SweepSpec(cache="icache", sizes=tuple(sizes),
+                     associativities=tuple(associativities),
+                     double_pass=True, semantics=semantics)
 
 
 def run(scale: int = 1, events: Optional[Trace] = None,
@@ -42,8 +53,8 @@ def run(scale: int = 1, events: Optional[Trace] = None,
     """
     events = paper_trace(scale) if events is None else as_trace(events)
     if sweep is None:
-        sweep = sweep_icache(events, sizes, associativities,
-                             double_pass=True, semantics=semantics)
+        sweep = run_sweep(figure_spec(sizes, associativities, semantics),
+                          events).to_sweep_result()
     result = ExperimentResult(
         "FIG-11 instruction cache hit ratio vs cache size",
         "The same traces' instruction-address stream replayed against "
@@ -110,6 +121,10 @@ def _run(ctx) -> ExperimentResult:
     return run(ctx.scale, events=ctx.events("paper"))
 
 
+def _sweeps(ctx):
+    return [("paper", figure_spec())]
+
+
 # Formerly sharded per associativity for the parallel harness; the
 # single-pass engine replays the trace once for the whole grid, so
 # the experiment is a single task (and no longer dominates the suite).
@@ -123,6 +138,7 @@ register(ExperimentSpec(
                 "stack-distance engine)",
     runner=_run,
     workloads=("paper",),
+    sweeps=_sweeps,
 ))
 
 

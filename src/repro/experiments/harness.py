@@ -98,6 +98,54 @@ def _materialize_workloads(specs: Sequence[ExperimentSpec],
         note("")
 
 
+def _split_cache_served(specs: Sequence[ExperimentSpec],
+                        ctx: RunContext
+                        ) -> Tuple[List[ExperimentSpec],
+                                   List[ExperimentSpec]]:
+    """Partition specs into (cache-served, pooled).
+
+    An experiment that declares its sweeps (``spec.sweeps``) and whose
+    every declared sweep already has an entry in the on-disk
+    sweep-result cache is *cache-served*: its runner will only read
+    cached surfaces, which costs milliseconds, so shipping it to a
+    worker process buys nothing and the harness runs it inline in the
+    parent.  The probe is existence-only (``ResultCache.contains``):
+    no payload is read here, and a cached entry that later fails to
+    decode simply replays in the parent -- correctness never depends
+    on the probe being right.
+    """
+    from repro.sweep import result_cache_key
+    from repro.workloads.library import ResultCache
+
+    if not ResultCache.enabled():
+        return [], list(specs)
+    cache = ctx.store.result_cache()
+    served: List[ExperimentSpec] = []
+    pooled: List[ExperimentSpec] = []
+    for spec in specs:
+        declared = None
+        if spec.sweeps is not None and not spec.shards:
+            try:
+                declared = list(spec.sweeps(ctx))
+            except Exception:
+                declared = None  # a broken declaration is no declaration
+        if not declared:
+            pooled.append(spec)
+            continue
+        cached = all(
+            cache.contains(result_cache_key(
+                sweep_spec,
+                ctx.store.trace_key(workload, quick=ctx.quick,
+                                    scale=ctx.scale)))
+            for workload, sweep_spec in declared)
+        if cached:
+            served.append(spec)
+            telemetry.inc("harness.cache_served")
+        else:
+            pooled.append(spec)
+    return served, pooled
+
+
 def _new_stats() -> Dict[str, object]:
     return {"retries": 0, "timeouts": 0, "pool_breaks": 0,
             "task_failures": 0, "degraded": False, "resumed": 0}
@@ -518,18 +566,33 @@ def _run_all_inner(specs, journal, done, stats, started, note, *,
                         jobs=jobs, experiments=len(specs),
                         resumed=len(done)):
         _materialize_workloads(pending_specs, ctx, note)
+        by_id: Dict[str, ExperimentResult] = {}
         if jobs > 1:
-            fresh = _run_parallel(pending_specs, ctx, jobs, note,
+            served, pooled = _split_cache_served(pending_specs, ctx)
+            if served:
+                note(f"result cache: {len(served)} experiment(s) fully "
+                     f"cached; running inline instead of scheduling "
+                     f"pool tasks "
+                     f"({', '.join(spec.id for spec in served)})\n")
+                inline = _run_sequential(served, ctx, note,
+                                         retries=retries,
+                                         backoff=backoff, stats=stats,
+                                         on_result=on_result)
+                by_id.update({spec.id: result for spec, result
+                              in zip(served, inline)})
+            fresh = _run_parallel(pooled, ctx, jobs, note,
                                   retries=retries,
                                   task_timeout=task_timeout,
                                   backoff=backoff, stats=stats,
                                   on_result=on_result)
+            by_id.update({spec.id: result
+                          for spec, result in zip(pooled, fresh)})
         else:
             fresh = _run_sequential(pending_specs, ctx, note,
                                     retries=retries, backoff=backoff,
                                     stats=stats, on_result=on_result)
-    by_id = {spec.id: result
-             for spec, result in zip(pending_specs, fresh)}
+            by_id.update({spec.id: result
+                          for spec, result in zip(pending_specs, fresh)})
     results = [done.get(spec.id, by_id.get(spec.id))
                for spec in specs]
 

@@ -120,6 +120,14 @@ class ExperimentSpec:
     shards: Tuple[object, ...] = ()
     shard_runner: Optional[Callable] = None
     merger: Optional[Callable] = None
+    #: Optional declaration of the sweeps the runner will replay:
+    #: ``sweeps(ctx)`` yields ``(workload_name, SweepSpec)`` pairs.
+    #: The harness probes the on-disk sweep-result cache with these
+    #: before scheduling pool tasks -- an experiment whose every
+    #: declared sweep is already cached runs inline in the parent (a
+    #: cache hit costs milliseconds; a worker process does not).
+    #: Must be a module-level function (pickled by reference).
+    sweeps: Optional[Callable] = None
 
     def __post_init__(self) -> None:
         if self.shards and not (self.shard_runner and self.merger):

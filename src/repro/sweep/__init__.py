@@ -36,7 +36,12 @@ or, for the paper's figure pair in one declared object::
 
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
 from repro.sweep.np_engine import NumpyMultiConfigLRU, numpy_available
-from repro.sweep.runner import run_hierarchy, run_semantics_delta, run_sweep
+from repro.sweep.runner import (
+    result_cache_key,
+    run_hierarchy,
+    run_semantics_delta,
+    run_sweep,
+)
 from repro.sweep.spec import (
     DEFAULT_SEMANTICS,
     HierarchySpec,
@@ -62,6 +67,7 @@ __all__ = [
     "next_use_times",
     "numpy_available",
     "paper_hierarchy",
+    "result_cache_key",
     "run_hierarchy",
     "run_semantics_delta",
     "run_sweep",

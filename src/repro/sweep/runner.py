@@ -40,8 +40,11 @@ trace's address column, zero-copy) and feed the engines through
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from array import array
+from dataclasses import asdict
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro import telemetry
@@ -53,9 +56,48 @@ from repro.sweep.surface import Cell, ResultSurface
 from repro.trace.cachesim import simulate_icache, simulate_itlb
 from repro.trace.columnar import Trace, as_trace
 from repro.trace.semantics import reset_index
+from repro.workloads.library import ResultCache
 
 #: A reference stream: parallel (block identity, placement) columns.
 RefColumns = Tuple[Sequence, Sequence[int]]
+
+#: The engine-semantics version, part of every result-cache key: bump
+#: it whenever ANY engine's measured counts could change (a
+#: replacement-model fix, a warm-up change, a placement-hash change),
+#: so stale cached surfaces can only ever miss, never misreport.
+#: Measurement-*semantics* differences (``"paper"`` vs ``"v2"``) are
+#: already in the spec and need no bump.
+ENGINE_VERSION = 1
+
+
+def result_cache_key(spec: SweepSpec, trace_key: str) -> str:
+    """The content key one (trace, sweep) query memoizes under.
+
+    Canonical JSON over the trace's store key, the *full* spec
+    (minus the display-only ``label`` -- two labels of the same sweep
+    share one result; note ``engine`` stays in the key, so the
+    engine-equivalence pins always compare freshly computed
+    surfaces), and :data:`ENGINE_VERSION`.
+    """
+    identity = asdict(spec)
+    identity.pop("label", None)
+    blob = json.dumps(
+        {"trace": trace_key, "spec": identity,
+         "engine_version": ENGINE_VERSION},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+#: store root -> ResultCache, so repeated sweeps share hit/miss
+#: counters and skip re-reading the environment.
+_RESULT_CACHES: Dict[str, ResultCache] = {}
+
+
+def _result_cache(root: str) -> ResultCache:
+    cache = _RESULT_CACHES.get(root)
+    if cache is None:
+        cache = _RESULT_CACHES[root] = ResultCache(root)
+    return cache
 
 
 # -- reference streams ----------------------------------------------------
@@ -296,8 +338,33 @@ def run_sweep(spec: SweepSpec,
     (the store's native type; iterated column-wise throughout) or a
     legacy ``TraceEvent`` sequence, which is packed into columns once
     up front.
+
+    Store-backed traces (those carrying a ``store_key`` stamp) are
+    memoized through the on-disk result cache: a repeated query
+    reconstructs the surface from
+    :meth:`~repro.sweep.surface.ResultSurface.to_payload` -- ``meta``
+    verbatim, so cached figures render byte-identically -- without
+    replaying a single reference.  The ``sweep.replay`` counter
+    increments only when an engine actually ran, which is how "a
+    repeated run performs zero replays" is asserted.
     """
     events = as_trace(events)
+    cache = key = None
+    trace_key = getattr(events, "store_key", None)
+    if trace_key and getattr(events, "store_root", None) \
+            and ResultCache.enabled():
+        cache = _result_cache(events.store_root)
+        key = result_cache_key(spec, trace_key)
+        payload = cache.get(key)
+        if payload is not None:
+            surface = ResultSurface.from_payload(spec, payload)
+            if surface is not None:
+                with telemetry.span("sweep.run", cache=spec.cache,
+                                    engine=spec.engine) as sp:
+                    sp.set(outcome="result-cache-hit",
+                           resolved_engine=surface.meta.get("engine"))
+                return surface
+            # Decoded JSON but not a surface document: rewrite below.
     with telemetry.span("sweep.run", cache=spec.cache,
                         engine=spec.engine) as sp:
         start = time.perf_counter()
@@ -307,6 +374,8 @@ def run_sweep(spec: SweepSpec,
         sp.set(resolved_engine=meta["engine"],
                trace_passes=meta["trace_passes"],
                references=meta.get("references", meta.get("events")))
+        telemetry.inc("sweep.replay", cache=spec.cache,
+                      engine=meta["engine"])
         if telemetry.enabled() and elapsed > 0:
             replayed = ((meta.get("references")
                          or meta.get("events") or 0)
@@ -314,6 +383,8 @@ def run_sweep(spec: SweepSpec,
             telemetry.observe("sweep.replay_events_per_sec",
                               replayed / elapsed,
                               cache=spec.cache, engine=meta["engine"])
+    if cache is not None:
+        cache.put(key, surface.to_payload())
     return surface
 
 

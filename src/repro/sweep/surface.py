@@ -115,6 +115,48 @@ class ResultSurface:
         return {assoc: self.smallest_size_reaching(target, assoc)
                 for assoc in self.counts}
 
+    # -- result-cache payload ---------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The surface as a JSON document for the on-disk result cache.
+
+        Cells are ordered rows ``[assoc, size, hits, misses]`` --
+        column order first, then the spec's size order -- so
+        reconstruction rebuilds ``counts`` with iteration order
+        identical to what the engine produced (the figure tables
+        iterate dicts, and cached runs must render byte-identically).
+        ``meta`` is carried verbatim for the same reason.
+        """
+        rows = [[assoc, size, *row[size]]
+                for assoc, row in self.counts.items() for size in row]
+        opt_rows = None
+        if self.opt_counts is not None:
+            opt_rows = [[size, *self.opt_counts[size]]
+                        for size in self.opt_counts]
+        return {"surface": 1, "counts": rows, "opt_counts": opt_rows,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_payload(cls, spec, payload: dict) -> Optional["ResultSurface"]:
+        """Rebuild a surface from :meth:`to_payload` output, or None
+        when the document does not decode (the cache treats any
+        malformed entry as a miss, never an error)."""
+        try:
+            if payload.get("surface") != 1:
+                return None
+            counts: Dict[Assoc, Dict[int, Cell]] = {}
+            for assoc, size, hits, misses in payload["counts"]:
+                counts.setdefault(assoc, {})[size] = (hits, misses)
+            opt_rows = payload.get("opt_counts")
+            opt_counts = None
+            if opt_rows is not None:
+                opt_counts = {size: (hits, misses)
+                              for size, hits, misses in opt_rows}
+            meta = dict(payload["meta"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return cls(spec, counts, opt_counts, meta)
+
     # -- figure-shaped extraction -----------------------------------------
 
     def to_sweep_result(self, label: Optional[str] = None):

@@ -245,6 +245,25 @@ def build_report(data: dict, top: int = 10) -> dict:
         "hit_rate": round(hits / lookups, 4) if lookups else None,
         "memo_hit_rate": (round((hits + memo) / (lookups + memo), 4)
                           if lookups + memo else None),
+        "mmap_opens": counter_total(metrics, "store.mmap_open"),
+        "manifest_rebuilds": counter_total(metrics,
+                                           "store.manifest_rebuilt"),
+    }
+    cache_hits = counter_total(metrics, "result_cache.hit")
+    cache_misses = counter_total(metrics, "result_cache.miss")
+    cache_lookups = cache_hits + cache_misses
+    result_cache = {
+        "hits": cache_hits,
+        "misses": cache_misses,
+        "puts": counter_total(metrics, "result_cache.put"),
+        "evictions": counter_total(metrics, "result_cache.evict"),
+        "hit_rate": (round(cache_hits / cache_lookups, 4)
+                     if cache_lookups else None),
+        "cache_served_experiments": counter_total(
+            metrics, "harness.cache_served"),
+        "sweep_replays": counter_total(metrics, "sweep.replay"),
+        "sweep_replays_by_labels": counter_by_labels(metrics,
+                                                     "sweep.replay"),
     }
     robustness = {
         "retries": counter_total(metrics, "harness.retries"),
@@ -272,6 +291,7 @@ def build_report(data: dict, top: int = 10) -> dict:
         "phases": ordered,
         "slowest_tasks": slowest,
         "store": store,
+        "result_cache": result_cache,
         "robustness": robustness,
         "counters": counters,
         "gauges": metrics.get("gauges") or {},
@@ -339,6 +359,21 @@ def render(report: dict) -> str:
                  f"memo hits {store['memo_hits']:.0f}, "
                  f"generated {store['generated']:.0f}, "
                  f"quarantined {store['quarantined']:.0f}")
+    lines.append(f"  mmap opens {store['mmap_opens']:.0f}, "
+                 f"manifest rebuilds {store['manifest_rebuilds']:.0f}")
+    cache = report.get("result_cache") or {}
+    if cache:
+        cache_rate = ("n/a" if cache["hit_rate"] is None
+                      else f"{100.0 * cache['hit_rate']:.1f}%")
+        lines.append("")
+        lines.append("sweep-result cache:")
+        lines.append(f"  hits {cache['hits']:.0f} / misses "
+                     f"{cache['misses']:.0f} (hit rate {cache_rate}), "
+                     f"puts {cache['puts']:.0f}, "
+                     f"evictions {cache['evictions']:.0f}")
+        lines.append(f"  engine replays {cache['sweep_replays']:.0f}, "
+                     f"experiments served inline from cache "
+                     f"{cache['cache_served_experiments']:.0f}")
     robustness = report["robustness"]
     lines.append("")
     lines.append("robustness ledger:")

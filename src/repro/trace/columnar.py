@@ -48,7 +48,8 @@ from array import array
 from collections.abc import Sequence
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import PayloadFormatError, StoreCorruption
+from repro.errors import (MappedBufferClosed, PayloadFormatError,
+                          StoreCorruption)
 from repro.trace import events as _events
 
 #: 4-byte signed column words (every TraceEvent field fits); fall
@@ -280,7 +281,8 @@ class _ColumnarSequence(Sequence):
                 column = column[:]  # don't mutate the live column
                 column.byteswap()
             blocks.append(column.tobytes())
-        if start & 7 or not isinstance(self._bits, (bytes, bytearray)):
+        if start & 7 or not isinstance(
+                self._bits, (bytes, bytearray, memoryview)):
             bits = bytearray((n + 7) >> 3)
             for index in self.dispatched_indices():
                 bits[index >> 3] |= 1 << (index & 7)
@@ -311,7 +313,7 @@ class Trace(_ColumnarSequence):
     """
 
     __slots__ = ("_addresses", "_opcodes", "_classes", "_bits",
-                 "_start", "_stop", "_disp")
+                 "_start", "_stop", "_disp", "store_key", "store_root")
 
     def __init__(self, addresses, opcodes, classes, bits,
                  start: int = 0, stop: Optional[int] = None) -> None:
@@ -328,6 +330,13 @@ class Trace(_ColumnarSequence):
         self._start = start
         self._stop = stop
         self._disp = None
+        #: Stamped by the trace store on load/generate: the content
+        #: key and store root this trace came from.  None for traces
+        #: built in memory or sliced views -- a slice is a different
+        #: trace than the stored one.  The sweep result cache keys on
+        #: this, so only store-backed whole traces are ever memoized.
+        self.store_key = None
+        self.store_root = None
 
     def _bounds(self) -> Tuple[int, int]:
         return self._start, self._stop
@@ -353,6 +362,41 @@ class Trace(_ColumnarSequence):
                            event.receiver_class, event.dispatched)
         return builder.snapshot()
 
+    @staticmethod
+    def _check_structure(blob) -> int:
+        """Validate a payload's header and total length; the event
+        count on success.  Shared by the copying and zero-copy
+        decoders so both classify bytes identically (format error vs
+        corruption)."""
+        if len(blob) < 5 or bytes(blob[:4]) != _MAGIC:
+            raise PayloadFormatError("not a trace-store payload")
+        if blob[4] != FORMAT_VERSION:
+            raise PayloadFormatError(
+                f"unsupported payload version {blob[4]} "
+                f"(current: {FORMAT_VERSION})")
+        if len(blob) < _HEADER:
+            raise StoreCorruption("payload truncated inside the header")
+        count = int.from_bytes(bytes(blob[5:9]), "little")
+        word = array(_INT).itemsize
+        expected = _HEADER + 3 * (count * word + _CRC_BYTES) \
+            + ((count + 7) >> 3) + _CRC_BYTES
+        if len(blob) != expected:
+            raise StoreCorruption(
+                f"payload is {len(blob)} bytes but {expected} were "
+                f"expected for {count} events (truncated or "
+                f"overwritten)")
+        return count
+
+    #: (name, size-for-count) pairs of the four payload blocks, in
+    #: on-disk order.
+    @staticmethod
+    def _block_layout(count: int):
+        word = array(_INT).itemsize
+        return (("address", count * word),
+                ("opcode", count * word),
+                ("receiver-class", count * word),
+                ("dispatched-bitset", (count + 7) >> 3))
+
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Trace":
         """Decode a v3 store payload; four bulk copies, zero events.
@@ -365,29 +409,10 @@ class Trace(_ColumnarSequence):
         payload fails its length or CRC32 checks, which the store
         routes to quarantine.
         """
-        if len(blob) < 5 or blob[:4] != _MAGIC:
-            raise PayloadFormatError("not a trace-store payload")
-        if blob[4] != FORMAT_VERSION:
-            raise PayloadFormatError(
-                f"unsupported payload version {blob[4]} "
-                f"(current: {FORMAT_VERSION})")
-        if len(blob) < _HEADER:
-            raise StoreCorruption("payload truncated inside the header")
-        count = int.from_bytes(blob[5:9], "little")
-        word = array(_INT).itemsize
-        expected = _HEADER + 3 * (count * word + _CRC_BYTES) \
-            + ((count + 7) >> 3) + _CRC_BYTES
-        if len(blob) != expected:
-            raise StoreCorruption(
-                f"payload is {len(blob)} bytes but {expected} were "
-                f"expected for {count} events (truncated or "
-                f"overwritten)")
+        count = cls._check_structure(blob)
         offset = _HEADER
         blocks = []
-        for name, size in (("address", count * word),
-                           ("opcode", count * word),
-                           ("receiver-class", count * word),
-                           ("dispatched-bitset", (count + 7) >> 3)):
+        for name, size in cls._block_layout(count):
             block = blob[offset:offset + size]
             offset += size
             stored = int.from_bytes(
@@ -402,15 +427,247 @@ class Trace(_ColumnarSequence):
             column = array(_INT)
             column.frombytes(block)
             if _SWAP:
+                # The int columns are little-endian on disk; the
+                # bitset (blocks[3]) is byte-order independent and is
+                # used verbatim on every host.
                 column.byteswap()
             columns.append(column)
         bits = bytearray(blocks[3])
         return cls(columns[0], columns[1], columns[2], bits)
 
+    @classmethod
+    def from_buffer(cls, buffer) -> "Trace":
+        """Decode a payload as zero-copy views over *buffer*.
+
+        The fast path (little-endian host, 4-byte ``array('i')``
+        words -- i.e. every mainstream platform) builds the three int
+        columns as ``memoryview.cast('i')`` views and the bitset as a
+        byte view straight over the buffer: opening a 10^6-event
+        trace costs microseconds and no column RAM.  Structural
+        checks (magic, version, total length) run eagerly with the
+        same error taxonomy as :meth:`from_bytes`; per-block CRC32
+        verification is *deferred* to the first touch of each column
+        (raising :class:`~repro.errors.StoreCorruption` then).
+
+        Big-endian hosts (and exotic word sizes) cannot view the
+        little-endian payload in place and fall back to the copying
+        :meth:`from_bytes` -- crucially *without* byte-swapping the
+        dispatched bitset, which is byte-order independent.
+
+        Lifetime: the returned :class:`MappedTrace` holds views into
+        *buffer* (typically an ``mmap``).  The owner of the buffer
+        (the trace store) must call :meth:`MappedTrace.close` before
+        unmapping; afterwards every accessor raises the typed
+        :class:`~repro.errors.MappedBufferClosed`.  Use
+        :meth:`Trace.copy` for a trace that must outlive its store.
+        """
+        view = memoryview(buffer)
+        if _SWAP or array(_INT).itemsize != 4:
+            data = bytes(view)
+            view.release()
+            return cls.from_bytes(data)
+        try:
+            count = cls._check_structure(view)
+        except BaseException:
+            view.release()
+            raise
+        offset = _HEADER
+        blocks = []
+        pending = {}
+        for name, size in cls._block_layout(count):
+            block = view[offset:offset + size]
+            offset += size
+            stored = int.from_bytes(
+                bytes(view[offset:offset + _CRC_BYTES]), "little")
+            offset += _CRC_BYTES
+            pending[name] = (block, stored)
+            blocks.append(block)
+        columns = [block.cast(_INT) for block in blocks[:3]]
+        return MappedTrace(columns[0], columns[1], columns[2],
+                           blocks[3], count, pending, view)
+
+    def copy(self) -> "Trace":
+        """A deep copy backed by plain arrays.
+
+        The one way to keep a memory-mapped trace's data past its
+        store's close: the copy owns its columns outright (and
+        carries the same ``store_key`` stamp, since it is the same
+        logical trace).  On a plain trace this is simply an
+        independent materialization of the view.
+        """
+        start, stop = self._bounds()
+        n = stop - start
+        columns = []
+        for view in (self.addresses(), self.opcodes(),
+                     self.receiver_classes()):
+            column = array(_INT)
+            column.frombytes(bytes(view))
+            columns.append(column)
+        bits = bytearray((n + 7) >> 3)
+        for index in self.dispatched_indices():
+            bits[index >> 3] |= 1 << (index & 7)
+        duplicate = Trace(columns[0], columns[1], columns[2], bits)
+        duplicate.store_key = self.store_key
+        duplicate.store_root = self.store_root
+        return duplicate
+
     def __reduce__(self):
         # O(columns) pickling: a worker handoff ships four buffers,
-        # never a list of event objects.
-        return (Trace.from_bytes, (self.to_bytes(),))
+        # never a list of event objects.  The store stamp rides along
+        # so a worker-side sweep still finds its result-cache entry.
+        return (_unpickle_trace,
+                (self.to_bytes(), self.store_key, self.store_root))
+
+
+def _unpickle_trace(blob: bytes, store_key, store_root) -> "Trace":
+    """Pickle helper: a stored-payload round-trip plus store stamp."""
+    trace = Trace.from_bytes(blob)
+    trace.store_key = store_key
+    trace.store_root = store_root
+    return trace
+
+
+class MappedTrace(Trace):
+    """A :class:`Trace` whose columns are views over a mapped payload.
+
+    Built by :meth:`Trace.from_buffer`.  Differences from a plain
+    trace, both invisible to correct callers:
+
+    * **deferred integrity** -- each of the four payload blocks is
+      CRC32-verified on its first touch (never again after), so
+      *opening* a trace is O(1) while *reading* it keeps the same
+      corruption guarantee as :meth:`Trace.from_bytes`;
+    * **explicit lifetime** -- the trace does not own the underlying
+      buffer (the store owns the mmap).  After :meth:`close` every
+      accessor raises :class:`~repro.errors.MappedBufferClosed`.
+      Column views handed out before the close remain valid (each
+      holds its own buffer reference, keeping the mapping alive), and
+      :meth:`Trace.copy` produces an array-backed trace that needs no
+      lifetime care at all.
+    """
+
+    __slots__ = ("_source", "_pending", "_closed")
+
+    def __init__(self, addresses, opcodes, classes, bits, count,
+                 pending, source) -> None:
+        super().__init__(addresses, opcodes, classes, bits, 0, count)
+        #: block name -> (block view, stored CRC32); verified entries
+        #: are removed, so an empty dict means fully verified.
+        self._pending = pending
+        self._source = source
+        self._closed = False
+
+    # -- deferred integrity ------------------------------------------------
+
+    def _verify(self, name: str) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        entry = pending.get(name)
+        if entry is None:
+            return
+        block, stored = entry
+        if zlib.crc32(block) != stored:
+            # Left in _pending on purpose: a corrupt block stays
+            # corrupt, so every later touch re-raises instead of
+            # silently reading bad words.
+            raise StoreCorruption(f"{name} block failed its CRC32 check")
+        del pending[name]
+
+    def _verify_all(self) -> None:
+        for name in tuple(self._pending):
+            self._verify(name)
+
+    def verify(self) -> "MappedTrace":
+        """Run every still-deferred CRC check now; self, for chaining.
+
+        Zero-copy: the checksums run directly over the mapped pages.
+        The trace store calls this at load time -- its contract
+        (corrupt payload -> quarantine -> transparent regeneration)
+        predates mmap and survives it -- while direct
+        :meth:`Trace.from_buffer` users keep the pure
+        deferred-to-first-touch behaviour.
+        """
+        self._verify_all()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release this trace's views into the mapped buffer.
+
+        Idempotent.  The store calls this before unmapping; callers
+        that sliced out column views beforehand keep working (their
+        views pin the mapping), while every access *through this
+        trace* now raises :class:`~repro.errors.MappedBufferClosed`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending = {}
+        for view in (self._addresses, self._opcodes, self._classes,
+                     self._bits, self._source):
+            try:
+                view.release()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        self._source = None
+
+    def _bounds(self) -> Tuple[int, int]:
+        # The single choke point every read path goes through (len,
+        # iteration, indexing, accessors, to_bytes): the typed
+        # lifetime error instead of a released-memoryview ValueError.
+        if self._closed:
+            raise MappedBufferClosed(
+                "memory-mapped trace used after close; copy() the "
+                "trace before closing its store to keep the data")
+        return super()._bounds()
+
+    # -- verified access ---------------------------------------------------
+
+    def addresses(self):
+        self._verify("address")
+        return super().addresses()
+
+    def opcodes(self):
+        self._verify("opcode")
+        return super().opcodes()
+
+    def receiver_classes(self):
+        self._verify("receiver-class")
+        return super().receiver_classes()
+
+    def dispatched_indices(self):
+        self._verify("dispatched-bitset")
+        return super().dispatched_indices()
+
+    def dispatched_flag(self, index: int) -> bool:
+        self._verify("dispatched-bitset")
+        return super().dispatched_flag(index)
+
+    def _event(self, i: int):
+        self._verify_all()
+        return super()._event(i)
+
+    def __getitem__(self, index):
+        # A step-1 slice hands out a plain Trace sharing these column
+        # views; it carries no _pending hooks, so verify everything
+        # before it escapes.
+        if isinstance(index, slice):
+            self._verify_all()
+        return super().__getitem__(index)
+
+    def __eq__(self, other) -> bool:
+        self._verify_all()
+        return super().__eq__(other)
+
+    __hash__ = None
+
+    def to_bytes(self) -> bytes:
+        self._verify_all()
+        return super().to_bytes()
 
 
 class TraceBuilder(_ColumnarSequence):
@@ -463,6 +720,11 @@ class TraceBuilder(_ColumnarSequence):
         iterables fall back to per-event appends.
         """
         if isinstance(events, _ColumnarSequence):
+            if isinstance(events, MappedTrace):
+                # The bulk column extends below read events._columns
+                # directly; force the deferred CRC checks first so a
+                # corrupt mapped block cannot be copied silently.
+                events._verify_all()
             start, stop = events._bounds()
             added = stop - start
             if not added:

@@ -114,7 +114,7 @@ class TestCli:
         assert "generated" in first and "400 events" in first
         assert cli_main(args) == 0
         assert "cache hit" in capsys.readouterr().out
-        assert list(tmp_path.glob("monomorphic-*.trace"))
+        assert list(tmp_path.glob("**/monomorphic-*.trace"))
 
     def test_trace_unknown_workload_raises(self, tmp_path):
         with pytest.raises(KeyError):
