@@ -1,0 +1,90 @@
+"""Batched query planner bench: N paper-grid queries, 2 trace passes.
+
+Drives the planner exactly the way ``repro serve`` does: a 60-query
+batch covering both cache kinds -- the full-grid sweep, hit-ratio
+curves, iso-ratio thresholds and per-cell stats -- planned down to
+one superset replay per cache kind.  The claim is structural, not a
+core count: 60 individually-run queries would cost 60 replays of the
+measurement trace where the planned batch costs 2 (asserted on the
+replay meta, so a planner regression fails the bench rather than
+quietly inflating the numbers).
+
+Recorded per run: replays and trace passes for the batch,
+replays-per-query, and the throughput split the serving story rests
+on -- cold (replaying) queries/sec vs warm (cache-served) queries/sec
+from the in-memory surface cache.  The disk result cache stays
+disabled (benchmark-suite default), so the warm half times the
+``SurfaceCache`` tier alone.
+"""
+
+import time
+
+from repro.sweep import PAPER_SIZES, Query, SurfaceCache, SweepSpec, \
+    run_batch
+
+#: The serving grid: section-5 warm-up-fraction methodology, one
+#: simulation pass per replay.
+_WINDOW = dict(warmup_fraction=0.25, double_pass=False)
+
+_STATS_CELLS = [(assoc, size)
+                for assoc in (1, 2, 4)
+                for size in PAPER_SIZES][:23]
+
+
+def _paper_grid_queries(cache):
+    """30 mixed queries over one cache kind, all one planner group."""
+    full = SweepSpec(cache=cache, sizes=PAPER_SIZES,
+                     associativities=(1, 2, 4, "full"), **_WINDOW)
+    queries = [Query(spec=full)]
+    for assoc in (1, 2, "full"):
+        spec = SweepSpec(cache=cache, sizes=PAPER_SIZES,
+                         associativities=(assoc,), **_WINDOW)
+        queries.append(Query(spec=spec, kind="curve",
+                             associativity=assoc))
+    iso = SweepSpec(cache=cache, sizes=PAPER_SIZES,
+                    associativities=(1, 2, 4), **_WINDOW)
+    for target in (0.90, 0.95, 0.99):
+        queries.append(Query(spec=iso, kind="isoratio", target=target))
+    for assoc, size in _STATS_CELLS:
+        spec = SweepSpec(cache=cache, sizes=(size,),
+                         associativities=(assoc,), **_WINDOW)
+        queries.append(Query(spec=spec, kind="stats",
+                             associativity=assoc, size=size))
+    return queries
+
+
+def test_batched_paper_grid_two_trace_passes(events, wallclock_records):
+    queries = _paper_grid_queries("itlb") + _paper_grid_queries("icache")
+    assert len(queries) == 60
+    memory = SurfaceCache()
+
+    start = time.perf_counter()
+    cold = run_batch(queries, events, surface_cache=memory)
+    cold_seconds = time.perf_counter() - start
+
+    # The acceptance pin: the whole batch from one replay per cache
+    # kind, never one per query.
+    assert cold.report.replays == 2
+    assert cold.report.trace_passes <= 2
+    assert cold.report.fallbacks == 0
+    assert all(surface is not None for surface in cold.surfaces)
+
+    start = time.perf_counter()
+    warm = run_batch(queries, events, surface_cache=memory)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm.report.replays == 0
+    assert warm.report.memory_hits == 60
+
+    wallclock_records["serve::batched_paper_grid"] = {
+        "queries": cold.report.queries,
+        "replays": cold.report.replays,
+        "trace_passes": cold.report.trace_passes,
+        "replays_per_query": round(
+            cold.report.replays / cold.report.queries, 4),
+        "wall_seconds": round(cold_seconds, 3),
+        "replay_queries_per_second": round(
+            cold.report.queries / cold_seconds, 3),
+        "cached_queries_per_second": round(
+            warm.report.queries / warm_seconds, 3),
+    }

@@ -19,6 +19,10 @@ Sites
                           key); a corrupt entry must be a clean miss
 ``worker.start``          a pool worker process initialized
 ``worker.task``           a pool task is about to run (key: experiment id)
+``serve.request``         a serve front-end request arrived (key: request
+                          sequence number); payload kinds mangle the raw
+                          request bytes, so corruption exercises the
+                          bad-request path, never a crash
 ========================  ==================================================
 
 Kinds
@@ -68,7 +72,8 @@ from repro.errors import (FaultInjected, InjectedIOError,
 
 #: The named injection sites the pipeline is instrumented with.
 SITES = ("store.read", "store.write", "store.manifest",
-         "store.result_cache", "worker.start", "worker.task")
+         "store.result_cache", "worker.start", "worker.task",
+         "serve.request")
 
 #: Supported fault kinds (see module docstring).
 KINDS = ("io-error", "corrupt", "truncate", "crash", "slow", "error")

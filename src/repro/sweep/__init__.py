@@ -36,9 +36,19 @@ or, for the paper's figure pair in one declared object::
 
 from repro.sweep.engine import MultiConfigLRU, OptStack, next_use_times
 from repro.sweep.np_engine import NumpyMultiConfigLRU, numpy_available
+from repro.sweep.planner import (
+    BatchReport,
+    BatchResult,
+    Query,
+    SurfaceCache,
+    default_surface_cache,
+    query_from_request,
+    run_batch,
+)
 from repro.sweep.runner import (
     result_cache_key,
     run_hierarchy,
+    run_hierarchy_planned,
     run_semantics_delta,
     run_sweep,
 )
@@ -54,6 +64,8 @@ from repro.sweep.spec import (
 from repro.sweep.surface import ResultSurface, semantics_delta_table
 
 __all__ = [
+    "BatchReport",
+    "BatchResult",
     "DEFAULT_SEMANTICS",
     "HierarchySpec",
     "MultiConfigLRU",
@@ -61,14 +73,20 @@ __all__ = [
     "OptStack",
     "PAPER_ASSOCIATIVITIES",
     "PAPER_SIZES",
+    "Query",
     "ResultSurface",
     "SEMANTICS",
+    "SurfaceCache",
     "SweepSpec",
+    "default_surface_cache",
     "next_use_times",
     "numpy_available",
     "paper_hierarchy",
+    "query_from_request",
     "result_cache_key",
+    "run_batch",
     "run_hierarchy",
+    "run_hierarchy_planned",
     "run_semantics_delta",
     "run_sweep",
     "semantics_delta_table",

@@ -417,9 +417,24 @@ def _dispatch(spec: SweepSpec, events: Sequence) -> ResultSurface:
 
 def run_hierarchy(hierarchy: HierarchySpec,
                   events: Sequence) -> Tuple[ResultSurface, ...]:
-    """Run every level of a hierarchy over one trace, in order."""
+    """Run every level of a hierarchy over one trace, in order.
+
+    Routed through the batch planner
+    (:func:`repro.sweep.planner.run_batch`), so levels that differ
+    only in geometry coalesce into one superset replay; the surfaces
+    stay bitwise-identical to per-level :func:`run_sweep` calls.  Use
+    :func:`run_hierarchy_planned` to also see what the batch cost.
+    """
+    return run_hierarchy_planned(hierarchy, events)[0]
+
+
+def run_hierarchy_planned(hierarchy: HierarchySpec, events: Sequence):
+    """(level surfaces, :class:`~repro.sweep.planner.BatchReport`)."""
+    from repro.sweep.planner import Query, run_batch
     events = as_trace(events)
-    return tuple(run_sweep(level, events) for level in hierarchy.levels)
+    batch = run_batch([Query(spec=level) for level in hierarchy.levels],
+                      events)
+    return tuple(batch.surfaces), batch.report
 
 
 def run_semantics_delta(

@@ -468,8 +468,15 @@ class ResultCache:
         telemetry.inc("result_cache.put")
         self.evict()
 
-    def _entries(self) -> List[Tuple[float, int, Path]]:
-        """(mtime, bytes, path) for every cache entry."""
+    def _entries(self) -> List[Tuple[int, int, Path]]:
+        """(mtime_ns, bytes, path) for every cache entry.
+
+        Nanosecond mtime, not the float seconds: coarse-granularity
+        filesystems (FAT, some network mounts, ext timestamps after a
+        float round-trip) stamp whole batches of puts with the same
+        second, and a float clock would then order eviction by
+        whatever the directory scan happened to yield.
+        """
         out = []
         if not self.root.is_dir():
             return out
@@ -481,22 +488,25 @@ class ResultCache:
                     stat = path.stat()
                 except OSError:
                     continue
-                out.append((stat.st_mtime, stat.st_size, path))
+                out.append((stat.st_mtime_ns, stat.st_size, path))
         return out
 
     def evict(self) -> int:
         """Drop least-recently-used entries until under budget.
 
-        Returns how many entries were removed.  mtime is the LRU
-        clock (refreshed by :meth:`get`); ties break by path, so two
-        processes evicting concurrently converge on the same
-        survivors.
+        Returns how many entries were removed.  Nanosecond mtime is
+        the LRU clock (refreshed by :meth:`get`); exact ties -- same
+        stamp on a coarse-granularity filesystem -- break by the
+        entry's filename (the content key, unique and root-relative),
+        so two processes evicting concurrently converge on the same
+        survivors regardless of scan order or where the root is
+        mounted.
         """
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         removed = 0
-        for mtime, size, path in sorted(
-                entries, key=lambda item: (item[0], str(item[2]))):
+        for mtime_ns, size, path in sorted(
+                entries, key=lambda item: (item[0], item[2].name)):
             if total <= self.budget_bytes:
                 break
             try:

@@ -482,6 +482,39 @@ class TestResultCache:
         assert not cache.contains(old)
         assert cache.contains(new)
 
+    def test_eviction_breaks_equal_mtimes_by_filename(self, tmp_path):
+        # Coarse-granularity filesystems stamp whole batches of puts
+        # with one timestamp; the tie must break by the entry's
+        # filename (the content key), not by directory-scan order.
+        cache = ResultCache(tmp_path, budget_bytes=1 << 20)
+        keys = ["f" * 24, "a" * 24, "d" * 24]
+        for key in keys:
+            cache.put(key, {"n": key[0]})
+        stamp = os.stat(cache.path_for(keys[0])).st_mtime_ns
+        for key in keys:
+            os.utime(cache.path_for(key), ns=(stamp, stamp))
+        cache.budget_bytes = cache.stats()["bytes"] - 1
+        assert cache.evict() == 1
+        assert not cache.contains("a" * 24)   # first filename goes
+        assert cache.contains("d" * 24)
+        assert cache.contains("f" * 24)
+
+    def test_eviction_lru_clock_is_nanosecond_precise(self, tmp_path):
+        # 1ns apart within the same second: the ns clock must decide
+        # (a float-seconds clock would fall through to the name
+        # tie-break and evict the wrong entry here).
+        cache = ResultCache(tmp_path, budget_bytes=1 << 20)
+        older, newer = "z" * 24, "a" * 24
+        cache.put(older, {"n": 1})
+        cache.put(newer, {"n": 2})
+        stamp = os.stat(cache.path_for(older)).st_mtime_ns
+        os.utime(cache.path_for(older), ns=(stamp, stamp))
+        os.utime(cache.path_for(newer), ns=(stamp + 1, stamp + 1))
+        cache.budget_bytes = cache.stats()["bytes"] - 1
+        assert cache.evict() == 1
+        assert not cache.contains(older)
+        assert cache.contains(newer)
+
     def test_get_refreshes_the_lru_clock(self, tmp_path):
         cache = ResultCache(tmp_path, budget_bytes=1 << 20)
         key = "e" * 24
